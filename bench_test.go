@@ -1,0 +1,261 @@
+// Benchmarks regenerating the paper's evaluation (Section VII): one
+// benchmark per table/figure, at a reduced fixed scale so `go test -bench=.`
+// completes quickly. The full parameter sweeps with paper-style tables are
+// produced by `go run ./cmd/benchall` (internal/bench holds the harness);
+// EXPERIMENTS.md records paper-vs-measured shapes.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/gfd"
+	"repro/internal/rdfchase"
+)
+
+// benchN is the per-benchmark workload size (the paper uses 6000–10000
+// GFDs on a 20-machine cluster; benchmarks run laptop-scale).
+const benchN = 150
+
+func benchSet(b *testing.B, prof *dataset.Profile, n, k, l int) *gfd.Set {
+	b.Helper()
+	g := gen.New(gen.Config{N: n, K: k, L: l, Profile: prof, WildcardRate: 0.2, Seed: 1})
+	return g.Set()
+}
+
+func benchImp(b *testing.B, prof *dataset.Profile, n, k, l int) (*gfd.Set, *gfd.GFD) {
+	b.Helper()
+	g := gen.New(gen.Config{N: n, K: k, L: l, Profile: prof, WildcardRate: 0.2, Seed: 1})
+	return g.ImpInstance(6)
+}
+
+func parOpt(p int) core.ParOptions {
+	opt := core.DefaultParOptions(p)
+	opt.TTL = 20 * time.Millisecond
+	return opt
+}
+
+// BenchmarkFig5SequentialTable reproduces Fig. 5: SeqSat, SeqImp and the
+// chase baseline ParImpRDF on each dataset's GFDs.
+func BenchmarkFig5SequentialTable(b *testing.B) {
+	for _, prof := range dataset.All() {
+		set := benchSet(b, prof, benchN, 6, 5)
+		impSet, phi := benchImp(b, prof, benchN, 6, 5)
+		b.Run("SeqSat/"+prof.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqSat(set)
+			}
+		})
+		b.Run("SeqImp/"+prof.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqImp(impSet, phi)
+			}
+		})
+		b.Run("ParImpRDF/"+prof.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rdfchase.Implies(impSet, phi)
+			}
+		})
+	}
+}
+
+// varyP runs a parallel satisfiability benchmark across the paper's p axis.
+func benchVaryPSat(b *testing.B, prof *dataset.Profile) {
+	set := benchSet(b, prof, 2*benchN, 6, 5)
+	for _, p := range []int{4, 12, 20} {
+		for _, variant := range []string{"full", "np", "nb"} {
+			opt := parOpt(p)
+			switch variant {
+			case "np":
+				opt.Pipeline = false
+			case "nb":
+				opt.Splitting = false
+			}
+			b.Run(fmt.Sprintf("%s/p=%d", variant, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.ParSat(set, opt)
+				}
+			})
+		}
+	}
+}
+
+func benchVaryPImp(b *testing.B, prof *dataset.Profile) {
+	set, phi := benchImp(b, prof, 2*benchN, 6, 5)
+	for _, p := range []int{4, 12, 20} {
+		for _, variant := range []string{"full", "np", "nb"} {
+			opt := parOpt(p)
+			switch variant {
+			case "np":
+				opt.Pipeline = false
+			case "nb":
+				opt.Splitting = false
+			}
+			b.Run(fmt.Sprintf("%s/p=%d", variant, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.ParImp(set, phi, opt)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6aVaryPSatDBpedia reproduces Fig. 6(a).
+func BenchmarkFig6aVaryPSatDBpedia(b *testing.B) { benchVaryPSat(b, dataset.DBpedia()) }
+
+// BenchmarkFig6bVaryPSatYAGO2 reproduces Fig. 6(b).
+func BenchmarkFig6bVaryPSatYAGO2(b *testing.B) { benchVaryPSat(b, dataset.YAGO2()) }
+
+// BenchmarkFig6cVaryPImpDBpedia reproduces Fig. 6(c).
+func BenchmarkFig6cVaryPImpDBpedia(b *testing.B) { benchVaryPImp(b, dataset.DBpedia()) }
+
+// BenchmarkFig6dVaryPImpYAGO2 reproduces Fig. 6(d).
+func BenchmarkFig6dVaryPImpYAGO2(b *testing.B) { benchVaryPImp(b, dataset.YAGO2()) }
+
+// BenchmarkFig6eVarySigmaSat reproduces Fig. 6(e): satisfiability vs |Σ|
+// (synthetic, k=6, l=5, p=4).
+func BenchmarkFig6eVarySigmaSat(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		g := gen.New(gen.Config{N: n, K: 6, L: 5, Seed: 1})
+		set := g.Set()
+		b.Run(fmt.Sprintf("SeqSat/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqSat(set)
+			}
+		})
+		b.Run(fmt.Sprintf("ParSat/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParSat(set, parOpt(4))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6fVarySigmaImp reproduces Fig. 6(f): implication vs |Σ|,
+// including the chase baseline.
+func BenchmarkFig6fVarySigmaImp(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		g := gen.New(gen.Config{N: n, K: 6, L: 5, Seed: 1})
+		set, phi := g.ImpInstance(6)
+		b.Run(fmt.Sprintf("SeqImp/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqImp(set, phi)
+			}
+		})
+		b.Run(fmt.Sprintf("ParImp/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParImp(set, phi, parOpt(4))
+			}
+		})
+		b.Run(fmt.Sprintf("ParImpRDF/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rdfchase.Implies(set, phi)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6gVaryKSat reproduces Fig. 6(g): satisfiability vs pattern
+// size k (l=3, p=4, DBpedia seeds).
+func BenchmarkFig6gVaryKSat(b *testing.B) {
+	for _, k := range []int{2, 6, 10} {
+		set := benchSet(b, dataset.DBpedia(), benchN, k, 3)
+		b.Run(fmt.Sprintf("SeqSat/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqSat(set)
+			}
+		})
+		b.Run(fmt.Sprintf("ParSat/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParSat(set, parOpt(4))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6hVaryLSat reproduces Fig. 6(h): satisfiability vs literal
+// count l (k=5).
+func BenchmarkFig6hVaryLSat(b *testing.B) {
+	for _, l := range []int{1, 3, 5} {
+		set := benchSet(b, dataset.DBpedia(), benchN, 5, l)
+		b.Run(fmt.Sprintf("SeqSat/l=%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqSat(set)
+			}
+		})
+		b.Run(fmt.Sprintf("ParSat/l=%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParSat(set, parOpt(4))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6iVaryKImp reproduces Fig. 6(i): implication vs k.
+func BenchmarkFig6iVaryKImp(b *testing.B) {
+	for _, k := range []int{2, 6, 10} {
+		set, phi := benchImp(b, dataset.DBpedia(), benchN, k, 3)
+		b.Run(fmt.Sprintf("SeqImp/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqImp(set, phi)
+			}
+		})
+		b.Run(fmt.Sprintf("ParImp/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParImp(set, phi, parOpt(4))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6jVaryLImp reproduces Fig. 6(j): implication vs l.
+func BenchmarkFig6jVaryLImp(b *testing.B) {
+	for _, l := range []int{1, 3, 5} {
+		set, phi := benchImp(b, dataset.DBpedia(), benchN, 5, l)
+		b.Run(fmt.Sprintf("SeqImp/l=%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SeqImp(set, phi)
+			}
+		})
+		b.Run(fmt.Sprintf("ParImp/l=%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParImp(set, phi, parOpt(4))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6kVaryTTLSat reproduces Fig. 6(k): the straggler TTL sweep
+// for satisfiability (p=4); the paper's 0.1s–8s axis maps to milliseconds
+// at this workload scale.
+func BenchmarkFig6kVaryTTLSat(b *testing.B) {
+	set := benchSet(b, dataset.DBpedia(), benchN, 6, 3)
+	for _, ttl := range []time.Duration{time.Millisecond, 20 * time.Millisecond, 80 * time.Millisecond} {
+		opt := parOpt(4)
+		opt.TTL = ttl
+		b.Run(fmt.Sprintf("TTL=%v", ttl), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParSat(set, opt)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6lVaryTTLImp reproduces Fig. 6(l): the TTL sweep for
+// implication.
+func BenchmarkFig6lVaryTTLImp(b *testing.B) {
+	set, phi := benchImp(b, dataset.DBpedia(), benchN, 6, 3)
+	for _, ttl := range []time.Duration{time.Millisecond, 20 * time.Millisecond, 80 * time.Millisecond} {
+		opt := parOpt(4)
+		opt.TTL = ttl
+		b.Run(fmt.Sprintf("TTL=%v", ttl), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParImp(set, phi, opt)
+			}
+		})
+	}
+}

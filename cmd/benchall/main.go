@@ -1,0 +1,42 @@
+// Command benchall runs the paper's experiments (Fig. 5 and Fig. 6(a)–(l))
+// and prints each as a text table. See DESIGN.md for the per-experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	benchall [-scale 0.025] [-reps 3] [-seed 1] [-only fig6e]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.025, "fraction of the paper's workload sizes (1.0 = paper scale)")
+	reps := flag.Int("reps", 3, "repetitions per cell (median reported)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	only := flag.String("only", "", "run a single experiment (e.g. fig5, fig6a ... fig6l)")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed}
+	start := time.Now()
+	if *only != "" {
+		run := bench.ByName(*only)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		fmt.Print(run(cfg).Format())
+	} else {
+		for _, r := range bench.All(cfg) {
+			fmt.Print(r.Format())
+			fmt.Println()
+		}
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,86 @@
+// Command gfdgen generates synthetic GFD workloads (Section VII's
+// generator) in the gfdio text format, for use with gfdreason.
+//
+// Usage:
+//
+//	gfdgen [-n 100] [-k 4] [-l 3] [-profile dbpedia|yago2|pokec]
+//	       [-conflicts 0] [-wildcard 0.1] [-seed 1]
+//	       [-imp-target] [-o sigma.gfd]
+//
+// With -imp-target, an implication instance is produced instead: Σ goes to
+// the -o file and a chain-dependent non-implied target GFD to stdout (or
+// -target-o).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/gfd"
+	"repro/internal/gfdio"
+)
+
+func main() {
+	n := flag.Int("n", 100, "|Σ|: number of GFDs")
+	k := flag.Int("k", 4, "max pattern nodes")
+	l := flag.Int("l", 3, "max literals in X and in Y")
+	profileName := flag.String("profile", "dbpedia", "dataset profile: dbpedia, yago2, pokec")
+	conflicts := flag.Int("conflicts", 0, "inject this many conflicting GFDs (0 = satisfiable)")
+	wildcard := flag.Float64("wildcard", 0.1, "wildcard label rate")
+	seed := flag.Int64("seed", 1, "random seed")
+	impTarget := flag.Bool("imp-target", false, "emit an implication instance (Σ + chain target)")
+	out := flag.String("o", "", "output file for Σ (default stdout)")
+	targetOut := flag.String("target-o", "", "output file for the implication target (default stdout)")
+	flag.Parse()
+
+	var profile *dataset.Profile
+	switch strings.ToLower(*profileName) {
+	case "dbpedia":
+		profile = dataset.DBpedia()
+	case "yago2":
+		profile = dataset.YAGO2()
+	case "pokec":
+		profile = dataset.Pokec()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileName)
+		os.Exit(2)
+	}
+
+	g := gen.New(gen.Config{
+		N: *n, K: *k, L: *l,
+		Profile:      profile,
+		Conflicts:    *conflicts,
+		WildcardRate: *wildcard,
+		Seed:         *seed,
+	})
+
+	write := func(path string, set *gfd.Set) {
+		var w io.Writer = os.Stdout
+		if path != "" {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := gfdio.WriteGFDs(w, set); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if *impTarget {
+		set, phi := g.ImpInstance(6)
+		write(*out, set)
+		write(*targetOut, gfd.NewSet(phi))
+		return
+	}
+	write(*out, g.Set())
+}

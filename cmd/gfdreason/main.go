@@ -1,0 +1,141 @@
+// Command gfdreason checks the satisfiability of a GFD set, the implication
+// of a target GFD, or the satisfaction of a data graph, from files in the
+// gfdio text formats.
+//
+// Usage:
+//
+//	gfdreason sat   [-p 4] [-seq] sigma.gfd
+//	gfdreason imp   [-p 4] [-seq] [-baseline] sigma.gfd target.gfd
+//	gfdreason check sigma.gfd graph.txt
+//
+// sat prints SATISFIABLE or UNSATISFIABLE (with the conflicting attribute),
+// imp prints IMPLIED or NOT-IMPLIED, check prints the violations of the
+// rules in the graph. Exit status 0 on success, 1 on a negative check
+// answer, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gfd"
+	"repro/internal/gfdio"
+	"repro/internal/rdfchase"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	workers := fs.Int("p", 4, "parallel workers (ignored with -seq)")
+	seq := fs.Bool("seq", false, "use the sequential algorithm")
+	baseline := fs.Bool("baseline", false, "imp only: use the chase baseline (ParImpRDF)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	args := fs.Args()
+
+	switch cmd {
+	case "sat":
+		if len(args) != 1 {
+			usage()
+		}
+		set := readSet(args[0])
+		var res *core.SatResult
+		if *seq {
+			res = core.SeqSat(set)
+		} else {
+			res = core.ParSat(set, core.DefaultParOptions(*workers))
+		}
+		if res.Satisfiable {
+			fmt.Println("SATISFIABLE")
+			return
+		}
+		fmt.Printf("UNSATISFIABLE: %v\n", res.Conflict)
+		os.Exit(1)
+	case "imp":
+		if len(args) != 2 {
+			usage()
+		}
+		set := readSet(args[0])
+		targets := readSet(args[1])
+		if targets.Len() != 1 {
+			fatalf("target file must contain exactly one GFD, got %d", targets.Len())
+		}
+		phi := targets.GFDs[0]
+		var implied bool
+		var reason string
+		switch {
+		case *baseline:
+			implied = rdfchase.Implies(set, phi).Implied
+			reason = "chase fixpoint"
+		case *seq:
+			r := core.SeqImp(set, phi)
+			implied, reason = r.Implied, r.Reason.String()
+		default:
+			r := core.ParImp(set, phi, core.DefaultParOptions(*workers))
+			implied, reason = r.Implied, r.Reason.String()
+		}
+		if implied {
+			fmt.Printf("IMPLIED (%s)\n", reason)
+			return
+		}
+		fmt.Println("NOT-IMPLIED")
+		os.Exit(1)
+	case "check":
+		if len(args) != 2 {
+			usage()
+		}
+		set := readSet(args[0])
+		f, err := os.Open(args[1])
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		g, err := gfdio.ReadGraph(f)
+		if err != nil {
+			fatalf("parse %s: %v", args[1], err)
+		}
+		vs := core.Violations(g, set)
+		if len(vs) == 0 {
+			fmt.Println("CLEAN: graph satisfies all rules")
+			return
+		}
+		for _, v := range vs {
+			fmt.Printf("violation of %s at %v\n", v.GFD.Name, v.Match)
+		}
+		os.Exit(1)
+	default:
+		usage()
+	}
+}
+
+func readSet(path string) *gfd.Set {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	set, err := gfdio.ReadGFDs(f)
+	if err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	return set
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gfdreason sat   [-p 4] [-seq] sigma.gfd
+  gfdreason imp   [-p 4] [-seq] [-baseline] sigma.gfd target.gfd
+  gfdreason check sigma.gfd graph.txt`)
+	os.Exit(2)
+}

@@ -1,0 +1,14 @@
+// Package repro is a reproduction of "Parallel Reasoning of Graph
+// Functional Dependencies" (Fan, Liu, Cao; ICDE 2018): sequential and
+// parallel-scalable algorithms for the satisfiability and implication
+// analyses of GFDs, with every substrate (property graphs, pattern
+// matching, canonical graphs, the Eq equivalence relation, a simulated
+// cluster runtime, workload generators and a chase baseline) implemented
+// from scratch on the Go standard library.
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation at a reduced scale; cmd/benchall runs
+// the full harness.
+package repro

@@ -1,0 +1,101 @@
+// Package canon builds the canonical graphs of the small model properties:
+// G_Σ for satisfiability (Section IV-B) and G^X_Q for implication
+// (Section VI-A).
+package canon
+
+import (
+	"repro/internal/eq"
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Sigma is the canonical graph G_Σ of a set Σ: the disjoint union of all
+// patterns in Σ (variables renamed apart by node-ID offsets), with an empty
+// attribute assignment. Wildcard pattern labels are kept as the literal '_'
+// label, so only wildcard pattern nodes can match them.
+type Sigma struct {
+	Graph *graph.Graph
+	// Offset[i] maps pattern variables of Σ.GFDs[i] into Graph node IDs:
+	// node = Offset[i] + NodeID(var).
+	Offset []graph.NodeID
+	Set    *gfd.Set
+}
+
+// BuildSigma constructs G_Σ.
+func BuildSigma(set *gfd.Set) *Sigma {
+	g := graph.New()
+	offsets := make([]graph.NodeID, set.Len())
+	for i, phi := range set.GFDs {
+		offsets[i] = g.DisjointUnion(phi.Pattern.AsGraph())
+	}
+	return &Sigma{Graph: g, Offset: offsets, Set: set}
+}
+
+// NodeOf returns the G_Σ node that pattern variable v of Σ.GFDs[i] denotes.
+func (s *Sigma) NodeOf(i int, v pattern.Var) graph.NodeID {
+	return s.Offset[i] + graph.NodeID(v)
+}
+
+// TermOf returns the Eq term for attribute a of variable v of Σ.GFDs[i].
+func (s *Sigma) TermOf(i int, v pattern.Var, a string) eq.Term {
+	return eq.Term{Node: s.NodeOf(i, v), Attr: a}
+}
+
+// Phi is the canonical graph G^X_Q of a GFD φ = Q[x̄](X → Y): the pattern Q
+// materialized as a data graph (node IDs equal variable indexes), plus the
+// equivalence relation Eq_X encoding F^X_A — the attribute constraints of X
+// closed under transitivity of equality.
+type Phi struct {
+	Graph *graph.Graph
+	// EqX encodes F^X_A. It may already be conflicted when X is inconsistent
+	// (e.g. x.A=1 ∧ x.A=2), in which case Σ |= φ holds trivially.
+	EqX *eq.Eq
+	GFD *gfd.GFD
+}
+
+// BuildPhi constructs G^X_Q with Eq_X.
+func BuildPhi(phi *gfd.GFD) *Phi {
+	g := phi.Pattern.AsGraph()
+	e := eq.New()
+	for _, l := range phi.X {
+		switch l.Kind {
+		case gfd.ConstLiteral:
+			e.AssignConst(eq.Term{Node: graph.NodeID(l.X), Attr: l.A}, l.Const)
+		case gfd.VarLiteral:
+			e.Merge(eq.Term{Node: graph.NodeID(l.X), Attr: l.A}, eq.Term{Node: graph.NodeID(l.Y), Attr: l.B})
+		}
+	}
+	// Drain the construction log: Eq_X is the starting point replicated to
+	// every worker, not a delta to broadcast.
+	e.TakeDelta()
+	return &Phi{Graph: g, EqX: e, GFD: phi}
+}
+
+// YDeduced reports whether Y ⊆ Eq_H: every consequent literal of φ is
+// deducible from the given relation (Corollary 4's success condition).
+func (p *Phi) YDeduced(e *eq.Eq) bool {
+	for _, l := range p.GFD.Y {
+		switch l.Kind {
+		case gfd.ConstLiteral:
+			c, ok := e.Const(eq.Term{Node: graph.NodeID(l.X), Attr: l.A})
+			if !ok || c != l.Const {
+				return false
+			}
+		case gfd.VarLiteral:
+			t := eq.Term{Node: graph.NodeID(l.X), Attr: l.A}
+			u := eq.Term{Node: graph.NodeID(l.Y), Attr: l.B}
+			if e.Same(t, u) {
+				continue
+			}
+			// Classes forced to the same constant are equal in every
+			// population even without a merge.
+			ct, okT := e.Const(t)
+			cu, okU := e.Const(u)
+			if !(okT && okU && ct == cu) {
+				return false
+			}
+		}
+	}
+	return true
+}

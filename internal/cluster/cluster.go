@@ -1,0 +1,169 @@
+// Package cluster provides the simulated distributed runtime underneath
+// ParSat and ParImp (Section V-B): a coordinator with a priority queue of
+// work units, p workers, and an asynchronous reliable broadcast of monotone
+// Eq deltas.
+//
+// Substitution note (see DESIGN.md): the paper deploys on a 20-machine
+// cluster; here workers are goroutines and the broadcast is a shared
+// append-only operation log that every worker applies from its own cursor.
+// This preserves the coordination structure the paper evaluates — dynamic
+// workload assignment, straggler splitting, early-termination flags, and
+// asynchronous monotone state exchange — while remaining a single process.
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/eq"
+)
+
+// Log is the asynchronous broadcast channel: an append-only, totally
+// ordered log of Eq operations. A worker broadcasts by appending its local
+// delta; every other worker applies the log tail from its own cursor at its
+// own pace. Because Eq is monotone and ops are ground, applying any prefix
+// interleaved with local work converges (see eq's confluence property).
+type Log struct {
+	mu  sync.Mutex
+	ops []eq.Op
+	// length mirrors len(ops) so workers can poll for news without taking
+	// the mutex (they poll once per match — the hot path).
+	length atomic.Int64
+	// appends counts Append calls (broadcast messages), reported by the
+	// harness as a communication stat.
+	appends int
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append publishes a delta; empty deltas are ignored. It returns the new
+// log length.
+func (l *Log) Append(d eq.Delta) int {
+	if len(d) == 0 {
+		return l.Len()
+	}
+	l.mu.Lock()
+	l.ops = append(l.ops, d...)
+	l.appends++
+	n := len(l.ops)
+	l.length.Store(int64(n))
+	l.mu.Unlock()
+	return n
+}
+
+// Len returns the current log length without locking. Workers poll this on
+// every match to decide whether to catch up.
+func (l *Log) Len() int { return int(l.length.Load()) }
+
+// ReadFrom returns the ops in [cursor, len) and the new cursor.
+func (l *Log) ReadFrom(cursor int) (eq.Delta, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cursor >= len(l.ops) {
+		return nil, cursor
+	}
+	tail := append(eq.Delta{}, l.ops[cursor:]...)
+	return tail, len(l.ops)
+}
+
+// Appends returns the number of broadcast messages published.
+func (l *Log) Appends() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// Queue is the coordinator's priority queue of work units: a binary
+// min-heap on (rank, insertion sequence) — stable FIFO within a rank —
+// with PushFront used for split sub-units ("add Li to the front of W").
+// It is used only by the coordinator goroutine, so it is not synchronized.
+type Queue[T any] struct {
+	items []queueItem[T]
+	seq   uint64
+	// frontRank decreases on every PushFront call so later split batches
+	// land before earlier ones, and all land before normally ranked units.
+	frontRank int
+}
+
+type queueItem[T any] struct {
+	rank int
+	seq  uint64
+	v    T
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+func (q *Queue[T]) less(i, j int) bool {
+	if q.items[i].rank != q.items[j].rank {
+		return q.items[i].rank < q.items[j].rank
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}
+
+// Push inserts an item with the given rank (FIFO for equal ranks).
+func (q *Queue[T]) Push(rank int, v T) {
+	q.items = append(q.items, queueItem[T]{rank: rank, seq: q.seq, v: v})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// PushFront inserts items ahead of everything currently queued, preserving
+// their order within the batch.
+func (q *Queue[T]) PushFront(vs ...T) {
+	q.frontRank--
+	for _, v := range vs {
+		q.Push(q.frontRank, v)
+	}
+}
+
+// Pop removes and returns the lowest-ranked item.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0].v
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = queueItem[T]{} // release references
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eq"
+	"repro/internal/graph"
+)
+
+func tm(n int, a string) eq.Term { return eq.Term{Node: graph.NodeID(n), Attr: a} }
+
+func TestLogAppendRead(t *testing.T) {
+	l := NewLog()
+	if l.Len() != 0 || l.Appends() != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	l.Append(eq.Delta{{Kind: eq.OpAssign, T: tm(0, "A"), C: "1"}})
+	l.Append(nil) // empty deltas are not broadcasts
+	l.Append(eq.Delta{{Kind: eq.OpMerge, T: tm(0, "A"), U: tm(1, "B")}})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if l.Appends() != 2 {
+		t.Fatalf("Appends = %d, want 2", l.Appends())
+	}
+	tail, cur := l.ReadFrom(0)
+	if len(tail) != 2 || cur != 2 {
+		t.Fatalf("ReadFrom(0) = %d ops, cursor %d", len(tail), cur)
+	}
+	tail, cur = l.ReadFrom(2)
+	if tail != nil || cur != 2 {
+		t.Fatal("ReadFrom at end should be empty")
+	}
+	// Partial read.
+	tail, _ = l.ReadFrom(1)
+	if len(tail) != 1 || tail[0].Kind != eq.OpMerge {
+		t.Fatalf("partial read wrong: %+v", tail)
+	}
+}
+
+func TestLogConcurrentAppendersConverge(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Append(eq.Delta{{Kind: eq.OpAssign, T: tm(w, "A"), C: "1"}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 400 {
+		t.Fatalf("lost appends: %d", l.Len())
+	}
+	// Two replicas reading the full log agree.
+	a, b := eq.New(), eq.New()
+	tail, _ := l.ReadFrom(0)
+	a.Apply(tail)
+	b.Apply(tail)
+	if a.Classes() != b.Classes() {
+		t.Fatal("replicas diverged on identical log")
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	q := NewQueue[string]()
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	q.Push(1, "a2") // equal rank: stable after "a"
+	var got []string
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []string{"a", "a2", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueuePushFront(t *testing.T) {
+	q := NewQueue[string]()
+	q.Push(1, "normal")
+	q.PushFront("s1", "s2")
+	q.PushFront("s3")
+	// s3 was pushed front most recently → before s1, s2; all before normal.
+	var got []string
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 4 || got[0] != "s3" || got[3] != "normal" {
+		t.Fatalf("front ordering wrong: %v", got)
+	}
+	// s1 before s2 (same PushFront call preserves order).
+	if got[1] != "s1" || got[2] != "s2" {
+		t.Fatalf("intra-batch order wrong: %v", got)
+	}
+}
+
+func TestQueueEmptyPop(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	if q.Len() != 0 {
+		t.Fatal("empty queue has nonzero length")
+	}
+}

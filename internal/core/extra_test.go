@@ -1,0 +1,195 @@
+package core
+
+// Additional coverage: metamorphic properties of the analyses, witness
+// model validation, ablation agreement, and stats sanity.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func TestMonotonicityOfUnsatisfiability(t *testing.T) {
+	// Adding GFDs never makes an unsatisfiable set satisfiable.
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for trial := 0; trial < 30 && checked < 8; trial++ {
+		set := randomSet(rng, 3)
+		if SeqSat(set).Satisfiable {
+			continue
+		}
+		checked++
+		bigger := gfd.NewSet(append(append([]*gfd.GFD{}, set.GFDs...), randomSet(rng, 2).GFDs...)...)
+		if SeqSat(bigger).Satisfiable {
+			t.Fatalf("superset of unsatisfiable set reported satisfiable:\n%s", bigger)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no unsatisfiable seeds found")
+	}
+}
+
+func TestImplicationReflexivityAndWeakening(t *testing.T) {
+	// Σ implies each of its members, and any weakening of a member.
+	g := gen.New(gen.Config{N: 10, K: 4, L: 3, Seed: 5})
+	set := g.Set()
+	for i, phi := range set.GFDs[:4] {
+		if !SeqImp(set, phi).Implied {
+			t.Errorf("member %d not implied by its own set", i)
+		}
+		// Weakening: subset of Y with the same X.
+		weak := gfd.MustNew(phi.Name+"-w", phi.Pattern, phi.X, phi.Y[:1])
+		if !SeqImp(set, weak).Implied {
+			t.Errorf("weakened member %d not implied", i)
+		}
+	}
+}
+
+func TestImplicationMonotoneInSigma(t *testing.T) {
+	// If Σ ⊨ φ then Σ ∪ Σ' ⊨ φ.
+	g := gen.New(gen.Config{N: 8, K: 3, L: 2, Seed: 6})
+	set := g.Set()
+	phi := g.ImpliedGFD(set)
+	if !SeqImp(set, phi).Implied {
+		t.Fatal("setup: not implied")
+	}
+	extra := gen.New(gen.Config{N: 4, K: 3, L: 2, Seed: 7}).Set()
+	union := gfd.NewSet(append(append([]*gfd.GFD{}, set.GFDs...), extra.GFDs...)...)
+	if !SeqImp(union, phi).Implied {
+		t.Fatal("implication lost under Σ-extension")
+	}
+}
+
+func TestWitnessModelIsSigmaBounded(t *testing.T) {
+	// Theorem 1: the witness is a population of G_Σ, so |model| is bounded
+	// by a small multiple of |Σ| (nodes+edges equal G_Σ's; attributes are
+	// bounded by the enforcement).
+	g := gen.New(gen.Config{N: 25, K: 4, L: 3, Seed: 8})
+	set := g.Set()
+	res := SeqSat(set)
+	if !res.Satisfiable {
+		t.Fatal("setup: unsat")
+	}
+	if res.Model.Size() > 20*set.Size() {
+		t.Errorf("witness size %d not Σ-bounded (|Σ| = %d)", res.Model.Size(), set.Size())
+	}
+	if !IsModel(res.Model, set) {
+		t.Fatal("witness is not a model")
+	}
+}
+
+func TestAblationAgreement(t *testing.T) {
+	// Every ablation combination returns the same answer on mixed
+	// workloads (satisfiable and not).
+	for seed := int64(0); seed < 3; seed++ {
+		for _, conflicts := range []int{0, 1} {
+			g := gen.New(gen.Config{N: 25, K: 4, L: 3, Seed: seed, Conflicts: conflicts})
+			set := g.Set()
+			want := SeqSat(set).Satisfiable
+			for pipeline := 0; pipeline < 2; pipeline++ {
+				for split := 0; split < 2; split++ {
+					for dep := 0; dep < 2; dep++ {
+						for sim := 0; sim < 2; sim++ {
+							opt := ParOptions{
+								Workers:    3,
+								TTL:        time.Millisecond,
+								Pipeline:   pipeline == 1,
+								Splitting:  split == 1,
+								DepOrder:   dep == 1,
+								Simulation: sim == 1,
+							}
+							got := ParSat(set, opt)
+							if got.Satisfiable != want {
+								t.Fatalf("seed=%d conflicts=%d opts=%+v: ParSat=%v want %v",
+									seed, conflicts, opt, got.Satisfiable, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := gen.New(gen.Config{N: 20, K: 4, L: 3, Seed: 4})
+	set := g.Set()
+	seq := SeqSat(set)
+	if seq.Stats.Matches == 0 || seq.Stats.Enforcements == 0 {
+		t.Errorf("sequential stats empty: %+v", seq.Stats)
+	}
+	par := ParSat(set, DefaultParOptions(3))
+	if par.Stats.UnitsRun == 0 {
+		t.Errorf("no units recorded: %+v", par.Stats)
+	}
+	// The parallel run discovers exactly the same matches (units partition
+	// the match space).
+	if par.Stats.Matches != seq.Stats.Matches {
+		t.Errorf("parallel matches %d != sequential %d", par.Stats.Matches, seq.Stats.Matches)
+	}
+	if par.Stats.DeltaOps == 0 || par.Stats.Broadcasts == 0 {
+		t.Errorf("no communication recorded: %+v", par.Stats)
+	}
+}
+
+func TestViolationsCountsAllMatches(t *testing.T) {
+	// Two independent violations of a functional-property GFD.
+	p := pattern.New()
+	x := p.AddVar("x", "car")
+	y := p.AddVar("y", "speed")
+	z := p.AddVar("z", "speed")
+	p.AddEdge(x, y, "s")
+	p.AddEdge(x, z, "s")
+	phi := gfd.MustNew("f", p, nil, []gfd.Literal{gfd.Vars(y, "v", z, "v")})
+	g := graph.New()
+	for i := 0; i < 2; i++ {
+		c := g.AddNode("car")
+		a := g.AddNodeWithAttrs("speed", map[string]string{"v": "1"})
+		b := g.AddNodeWithAttrs("speed", map[string]string{"v": "2"})
+		g.AddEdge(c, a, "s")
+		g.AddEdge(c, b, "s")
+	}
+	vs := Violations(g, gfd.NewSet(phi))
+	// Each car yields two violating matches (y,z and z,y).
+	if len(vs) != 4 {
+		t.Errorf("violations = %d, want 4", len(vs))
+	}
+}
+
+func TestSatisfiesMissingAttributeSemantics(t *testing.T) {
+	// A match whose X-attribute is missing trivially satisfies X→Y; a
+	// match whose Y-attribute is missing violates it when X holds.
+	p := pattern.New()
+	p.AddVar("x", "n")
+	phi := gfd.MustNew("g", p,
+		[]gfd.Literal{gfd.Const(0, "a", "1")},
+		[]gfd.Literal{gfd.Const(0, "b", "2")})
+	g := graph.New()
+	g.AddNode("n") // no attributes at all: X missing → satisfied
+	if ok, _ := Satisfies(g, gfd.NewSet(phi)); !ok {
+		t.Fatal("missing antecedent attribute should satisfy trivially")
+	}
+	g2 := graph.New()
+	n := g2.AddNode("n")
+	g2.SetAttr(n, "a", "1") // X holds, b missing → violated
+	if ok, _ := Satisfies(g2, gfd.NewSet(phi)); ok {
+		t.Fatal("missing consequent attribute should violate")
+	}
+}
+
+func TestParSatDeterministicAnswerUnderRepeats(t *testing.T) {
+	g := gen.New(gen.Config{N: 30, K: 4, L: 3, Seed: 12, Conflicts: 1})
+	set := g.Set()
+	opt := DefaultParOptions(4)
+	opt.TTL = 100 * time.Microsecond
+	for i := 0; i < 5; i++ {
+		if ParSat(set, opt).Satisfiable {
+			t.Fatalf("run %d: nondeterministic satisfiability answer", i)
+		}
+	}
+}

@@ -1,0 +1,672 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/depgraph"
+	"repro/internal/eq"
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/pattern"
+)
+
+// ParOptions configures ParSat and ParImp. The zero value is not useful;
+// start from DefaultParOptions.
+type ParOptions struct {
+	// Workers is p, the number of parallel workers.
+	Workers int
+	// TTL is the straggler threshold: a unit whose matching exceeds TTL is
+	// split and its untried branches returned to the coordinator
+	// (Section V-B, unit splitting). Ignored when Splitting is false.
+	TTL time.Duration
+	// Pipeline runs match generation and attribute checking in separate
+	// goroutines per unit (pipelined parallelism); when false, the worker
+	// first enumerates all matches of the unit, then checks them — the
+	// paper's ParSat_np / ParImp_np ablation.
+	Pipeline bool
+	// Splitting enables TTL-based work-unit splitting; false is the
+	// ParSat_nb / ParImp_nb ablation.
+	Splitting bool
+	// DepOrder orders the work-unit queue topologically by the dependency
+	// graph of Section V-B; false uses arrival order (an extra ablation
+	// beyond the paper's variants).
+	DepOrder bool
+	// Simulation enables the graph-simulation pre-filter on pattern
+	// candidates (the paper's multi-query optimization device).
+	Simulation bool
+	// unitDepCap bounds the number of units for which the quadratic
+	// unit-level dependency graph is built; beyond it the coarser GFD-level
+	// topological order ranks units. 0 means the default.
+	unitDepCap int
+}
+
+// DefaultParOptions returns the configuration used by the experiments
+// unless stated otherwise: all optimizations on.
+func DefaultParOptions(workers int) ParOptions {
+	return ParOptions{
+		Workers:    workers,
+		TTL:        100 * time.Millisecond,
+		Pipeline:   true,
+		Splitting:  true,
+		DepOrder:   true,
+		Simulation: true,
+	}
+}
+
+const defaultUnitDepCap = 2500
+
+// unit is a pivoted work unit (Q_φ[z], φ), optionally carrying a partial
+// match seed when it was split off a straggler.
+type unit struct {
+	gfd   int
+	pivot graph.NodeID
+	seed  match.Assignment
+}
+
+// outcome codes reported by workers to the coordinator.
+type outcomeKind int
+
+const (
+	evDone outcomeKind = iota
+	evConflict
+	evGoal
+	evSplit
+	evFinalized
+)
+
+type cevent struct {
+	kind   outcomeKind
+	worker int
+	splits []unit
+	// cursor is the worker's log position at finalize time.
+	cursor int
+}
+
+type wmsgKind int
+
+const (
+	wmAssign wmsgKind = iota
+	wmFinalize
+	wmStop
+)
+
+type wmsg struct {
+	kind  wmsgKind
+	units []unit
+}
+
+// parEngine runs the coordinator/worker protocol shared by ParSat and
+// ParImp. The canonical graph is replicated conceptually at each worker;
+// being immutable it is shared read-only. Each worker owns an Eq replica and
+// a pending index; deltas are exchanged through a cluster.Log.
+type parEngine struct {
+	opt    ParOptions
+	set    *gfd.Set
+	g      *graph.Graph
+	baseEq *eq.Eq            // nil for satisfiability; Eq_X for implication
+	goal   func(*eq.Eq) bool // nil for satisfiability; Y ⊆ Eq_H for implication
+	high   func(int) bool    // GFD indexes with the highest unit priority
+
+	sims     []*match.Sim
+	pivotVar []pattern.Var
+	orders   [][]pattern.Var
+	units    []unit
+	ranks    []int
+
+	log     *cluster.Log
+	stopped atomic.Bool
+}
+
+// buildUnits enumerates the work units of Σ on g: one per (GFD, pivot
+// candidate). The pivot variable is the most selective pivot among the
+// pattern's components; candidates come from the simulation pre-filter when
+// enabled (a pattern that fails simulation has no matches and yields no
+// units), else from the label index.
+func (e *parEngine) buildUnits() {
+	n := e.set.Len()
+	e.sims = make([]*match.Sim, n)
+	e.pivotVar = make([]pattern.Var, n)
+	e.orders = make([][]pattern.Var, n)
+	// The simulation pre-filter is per-GFD independent; computing it
+	// serially would be a p-independent startup phase capping the speedup
+	// (Amdahl), so it is spread over the same p workers.
+	simFailed := make([]bool, n)
+	if e.opt.Simulation {
+		p := e.opt.Workers
+		if p < 1 {
+			p = 1
+		}
+		jobs := make(chan int, n)
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if sim := match.Simulate(e.set.GFDs[i].Pattern, e.g); sim != nil {
+						e.sims[i] = sim
+					} else {
+						simFailed[i] = true
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, phi := range e.set.GFDs {
+		p := phi.Pattern
+		if e.opt.Simulation && simFailed[i] {
+			continue // no match anywhere: no units
+		}
+		pivots := p.Pivot(e.g)
+		best := pivots[0]
+		bestSize := e.candCount(i, best)
+		for _, pv := range pivots[1:] {
+			if s := e.candCount(i, pv); s < bestSize {
+				best, bestSize = pv, s
+			}
+		}
+		e.pivotVar[i] = best
+		// Variable order: the pivot's component first (starting at the
+		// pivot), then remaining components.
+		order := p.MatchOrder(best)
+		seen := make(map[pattern.Var]bool, len(order))
+		for _, v := range order {
+			seen[v] = true
+		}
+		for _, comp := range p.Components() {
+			if !seen[comp[0]] {
+				order = append(order, p.MatchOrder(comp[0])...)
+			}
+		}
+		e.orders[i] = order
+
+		for _, z := range e.candidatesFor(i, best) {
+			e.units = append(e.units, unit{gfd: i, pivot: z})
+		}
+	}
+	e.rankUnits()
+}
+
+func (e *parEngine) candCount(i int, v pattern.Var) int {
+	if e.sims[i] != nil {
+		return e.sims[i].Count(v)
+	}
+	return e.g.LabelFrequency(e.set.GFDs[i].Pattern.Label(v))
+}
+
+func (e *parEngine) candidatesFor(i int, v pattern.Var) []graph.NodeID {
+	if e.sims[i] != nil {
+		return e.sims[i].Nodes(v) // already ascending
+	}
+	out := append([]graph.NodeID{}, e.g.CandidateNodes(e.set.GFDs[i].Pattern.Label(v))...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// rankUnits assigns queue priorities: topological order over the unit
+// dependency graph when small enough (with high-priority units first),
+// otherwise the GFD-level topological order.
+func (e *parEngine) rankUnits() {
+	e.ranks = make([]int, len(e.units))
+	if !e.opt.DepOrder {
+		for i := range e.ranks {
+			e.ranks[i] = i
+		}
+		return
+	}
+	cap := e.opt.unitDepCap
+	if cap == 0 {
+		cap = defaultUnitDepCap
+	}
+	isHigh := func(gi int) bool {
+		if e.high != nil {
+			return e.high(gi)
+		}
+		return len(e.set.GFDs[gi].X) == 0
+	}
+	if len(e.units) <= cap {
+		it := depgraph.NewInteraction(e.set)
+		dunits := make([]depgraph.Unit, len(e.units))
+		for i, u := range e.units {
+			dunits[i] = depgraph.Unit{GFD: u.gfd, Pivot: u.pivot}
+		}
+		radii := make([]int, e.set.Len())
+		for i, phi := range e.set.GFDs {
+			if e.orders[i] != nil {
+				radii[i] = phi.Pattern.Radius(e.pivotVar[i])
+			}
+		}
+		adj := depgraph.UnitDeps(dunits, it, e.g, radii)
+		e.ranks = depgraph.UnitPriorities(dunits, adj, e.set, func(u depgraph.Unit) bool { return isHigh(u.GFD) })
+		return
+	}
+	// Coarse ranking: position of the unit's GFD in the GFD-level order,
+	// with high-priority GFDs first.
+	order := depgraph.OrderGFDs(e.set)
+	pos := make([]int, e.set.Len())
+	rank := 0
+	for _, gi := range order {
+		if isHigh(gi) {
+			pos[gi] = rank
+			rank++
+		}
+	}
+	for _, gi := range order {
+		if !isHigh(gi) {
+			pos[gi] = rank
+			rank++
+		}
+	}
+	for i, u := range e.units {
+		e.ranks[i] = pos[u.gfd]
+	}
+}
+
+// run executes the protocol and returns the first conflict (satisfiability
+// failure / implication success), whether the goal was reached (implication
+// by deduction), the converged relation (quiescent runs only; nil after
+// early termination), and aggregate stats.
+func (e *parEngine) run() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats) {
+	p := e.opt.Workers
+	if p < 1 {
+		p = 1
+	}
+	e.log = cluster.NewLog()
+
+	events := make(chan cevent, 16*p+len(e.units)+16)
+	assign := make([]chan wmsg, p)
+	workers := make([]*parWorker, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		assign[i] = make(chan wmsg, 8)
+		workers[i] = newParWorker(i, e, events, assign[i])
+		wg.Add(1)
+		go func(w *parWorker) {
+			defer wg.Done()
+			w.loop()
+		}(workers[i])
+	}
+
+	// Coordinator.
+	queue := cluster.NewQueue[unit]()
+	for i, u := range e.units {
+		queue.Push(e.ranks[i], u)
+	}
+	idle := make([]bool, p)
+	for i := range idle {
+		idle[i] = true
+	}
+	// Batch size: units are assigned in small batches (Section V-B) so the
+	// coordinator round-trip is paid once per batch, not once per unit.
+	batch := len(e.units) / (8 * p)
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 64 {
+		batch = 64
+	}
+	feed := func() {
+		for i := 0; i < p; i++ {
+			if !idle[i] {
+				continue
+			}
+			var us []unit
+			for len(us) < batch {
+				u, ok := queue.Pop()
+				if !ok {
+					break
+				}
+				us = append(us, u)
+			}
+			if len(us) == 0 {
+				return
+			}
+			idle[i] = false
+			assign[i] <- wmsg{kind: wmAssign, units: us}
+		}
+	}
+	allIdle := func() bool {
+		for _, b := range idle {
+			if !b {
+				return false
+			}
+		}
+		return true
+	}
+	stopAll := func() {
+		e.stopped.Store(true)
+		for i := 0; i < p; i++ {
+			assign[i] <- wmsg{kind: wmStop}
+		}
+	}
+
+	finish := func(c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats) {
+		stopAll()
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		// Drain stray events so no worker blocks on its way out.
+		for {
+			select {
+			case <-events:
+				continue
+			case <-done:
+			}
+			break
+		}
+		var st Stats
+		for _, w := range workers {
+			st.Add(w.enf.stats)
+		}
+		st.Broadcasts = e.log.Appends()
+		st.DeltaOps = e.log.Len()
+		return c, goal, fin, st
+	}
+
+	feed()
+	// Main loop: dispatch until the queue drains and every worker idles,
+	// then run finalize rounds until the broadcast log is quiescent.
+	finalizing := false
+	finalizeReplies := 0
+	finalizeBase := 0
+	for {
+		if !finalizing && queue.Len() == 0 && allIdle() {
+			finalizing = true
+			finalizeReplies = 0
+			finalizeBase = e.log.Len()
+			for i := 0; i < p; i++ {
+				assign[i] <- wmsg{kind: wmFinalize}
+			}
+		}
+		ev := <-events
+		switch ev.kind {
+		case evConflict:
+			return finish(workers[ev.worker].enf.conflict(), false, nil)
+		case evGoal:
+			return finish(nil, true, nil)
+		case evSplit:
+			queue.PushFront(ev.splits...)
+			if finalizing {
+				// A split during finalize cannot happen (no units running),
+				// but guard anyway.
+				finalizing = false
+			}
+			feed()
+		case evDone:
+			idle[ev.worker] = true
+			feed()
+		case evFinalized:
+			finalizeReplies++
+			if finalizeReplies == p {
+				if e.log.Len() == finalizeBase && queue.Len() == 0 {
+					// Quiescent: no conflict, goal not reached. Every worker
+					// has applied the whole log, so worker 0's relation is
+					// the converged global Eq.
+					return finish(nil, false, workers[0].enf.eq)
+				}
+				// New ops appeared during the round (drains fired): repeat.
+				finalizing = false
+			}
+		}
+	}
+}
+
+// parWorker is one worker P_i: an Eq replica, a pending index, and a cursor
+// into the broadcast log.
+type parWorker struct {
+	id     int
+	eng    *parEngine
+	enf    *enforcer
+	cursor int
+	events chan<- cevent
+	inbox  <-chan wmsg
+}
+
+func newParWorker(id int, eng *parEngine, events chan<- cevent, inbox <-chan wmsg) *parWorker {
+	var base *eq.Eq
+	if eng.baseEq != nil {
+		base = eng.baseEq.Clone()
+	}
+	return &parWorker{id: id, eng: eng, enf: newEnforcer(base), events: events, inbox: inbox}
+}
+
+func (w *parWorker) loop() {
+	for msg := range w.inbox {
+		switch msg.kind {
+		case wmStop:
+			return
+		case wmFinalize:
+			if !w.finalize() {
+				// Conflict or goal already reported; keep consuming until
+				// stop arrives.
+				continue
+			}
+			w.events <- cevent{kind: evFinalized, worker: w.id, cursor: w.cursor}
+		case wmAssign:
+			for _, u := range msg.units {
+				if w.eng.stopped.Load() {
+					break
+				}
+				w.runUnit(u)
+			}
+			if w.eng.stopped.Load() {
+				continue
+			}
+			w.events <- cevent{kind: evDone, worker: w.id}
+		}
+	}
+}
+
+// catchUp applies the broadcast log tail and drains re-checks; it reports
+// false when a conflict or the goal emerged (and emits the event).
+func (w *parWorker) catchUp() bool {
+	if w.eng.log.Len() <= w.cursor {
+		return true
+	}
+	tail, cur := w.eng.log.ReadFrom(w.cursor)
+	w.cursor = cur
+	if !w.enf.applyRemote(tail) {
+		w.events <- cevent{kind: evConflict, worker: w.id}
+		return false
+	}
+	return w.checkGoal()
+}
+
+// broadcast publishes the local delta, if any.
+func (w *parWorker) broadcast() {
+	d := w.enf.eq.TakeDelta()
+	if len(d) > 0 {
+		w.eng.log.Append(d)
+	}
+}
+
+func (w *parWorker) checkGoal() bool {
+	if w.eng.goal != nil && w.eng.goal(w.enf.eq) {
+		w.broadcast()
+		w.events <- cevent{kind: evGoal, worker: w.id}
+		return false
+	}
+	return true
+}
+
+// finalize applies the whole log and drains until locally stable,
+// broadcasting anything new that fires.
+func (w *parWorker) finalize() bool {
+	for {
+		before := w.cursor
+		if !w.catchUp() {
+			return false
+		}
+		w.broadcast()
+		if w.cursor == before && w.eng.log.Len() <= w.cursor {
+			return true
+		}
+	}
+}
+
+// runUnit executes one work unit: pivoted (optionally pipelined) matching
+// with TTL splitting, enforcing the unit's GFD at each match.
+func (w *parWorker) runUnit(u unit) {
+	w.enf.stats.UnitsRun++
+	if !w.catchUp() {
+		return
+	}
+	eng := w.eng
+	phi := eng.set.GFDs[u.gfd]
+	p := phi.Pattern
+	pv := eng.pivotVar[u.gfd]
+
+	seed := u.seed
+	if seed == nil {
+		seed = match.NewAssignment(p.NumVars())
+		seed[pv] = u.pivot
+	}
+	// No explicit d_Q-neighborhood restriction is needed: the match order
+	// grows the pivot's component outward from the seeded pivot, so every
+	// candidate is generated from an assigned neighbor's adjacency and the
+	// search never leaves the neighborhood. The (shared, read-only)
+	// simulation relation prunes candidates further without per-unit
+	// allocation.
+	var filter func(pattern.Var, graph.NodeID) bool
+	if sim := eng.sims[u.gfd]; sim != nil {
+		filter = sim.Has
+	}
+	s := match.NewSearch(p, eng.g, match.Options{Order: eng.orders[u.gfd], Seed: seed, Filter: filter})
+
+	if eng.opt.Pipeline {
+		w.runPipelined(u, phi, s)
+	} else {
+		w.runPhased(u, phi, s)
+	}
+}
+
+// handleMatch enforces φ at h and performs the broadcast/catch-up cycle.
+// It reports false when the run must stop (conflict or goal).
+func (w *parWorker) handleMatch(phi *gfd.GFD, h match.Assignment) bool {
+	if !w.enf.offer(phi, h) || !w.enf.drain() {
+		w.events <- cevent{kind: evConflict, worker: w.id}
+		return false
+	}
+	w.broadcast()
+	if !w.checkGoal() {
+		return false
+	}
+	return w.catchUp()
+}
+
+// runPipelined streams matches from a producer goroutine into the checking
+// loop (HomMatch ∥ CheckAttr of Fig. 3). The producer owns the search and
+// performs TTL splitting; split seeds flow to the coordinator immediately.
+//
+// Units that yield only a couple of matches are handled inline: the
+// producer goroutine is spawned lazily once the unit proves non-trivial, so
+// pipelining's per-unit cost is only paid where overlapping generation and
+// checking can actually help.
+func (w *parWorker) runPipelined(u unit, phi *gfd.GFD, s *match.Search) {
+	const inlineBudget = 2
+	start := time.Now()
+	for i := 0; i < inlineBudget; i++ {
+		if w.eng.stopped.Load() {
+			return
+		}
+		h, ok := s.Next()
+		if !ok {
+			return
+		}
+		if !w.handleMatch(phi, h) {
+			return
+		}
+	}
+
+	matches := make(chan match.Assignment, 64)
+	var stop atomic.Bool
+	var split []match.Assignment
+	go func() {
+		defer close(matches)
+		for {
+			if stop.Load() || w.eng.stopped.Load() {
+				return
+			}
+			if w.eng.opt.Splitting && w.eng.opt.TTL > 0 && time.Since(start) > w.eng.opt.TTL {
+				if seeds := s.Split(); len(seeds) > 0 {
+					split = append(split, seeds...)
+				}
+				start = time.Now()
+			}
+			h, ok := s.Next()
+			if !ok {
+				return
+			}
+			matches <- h
+		}
+	}()
+	ok := true
+	for h := range matches {
+		if ok {
+			if !w.handleMatch(phi, h) {
+				ok = false
+				stop.Store(true)
+				// Keep draining so the producer can exit.
+			}
+		}
+	}
+	w.emitSplits(u, split)
+}
+
+// runPhased is the np ablation: enumerate every match of the unit first,
+// then check them one by one. TTL splitting still applies during the
+// enumeration phase (the two optimizations are independent).
+func (w *parWorker) runPhased(u unit, phi *gfd.GFD, s *match.Search) {
+	var all []match.Assignment
+	var split []match.Assignment
+	start := time.Now()
+	for {
+		if w.eng.stopped.Load() {
+			return
+		}
+		if w.eng.opt.Splitting && w.eng.opt.TTL > 0 && time.Since(start) > w.eng.opt.TTL {
+			if seeds := s.Split(); len(seeds) > 0 {
+				split = append(split, seeds...)
+			}
+			start = time.Now()
+		}
+		h, ok := s.Next()
+		if !ok {
+			break
+		}
+		all = append(all, h)
+	}
+	for _, h := range all {
+		if w.eng.stopped.Load() {
+			return
+		}
+		if !w.handleMatch(phi, h) {
+			return
+		}
+	}
+	w.emitSplits(u, split)
+}
+
+func (w *parWorker) emitSplits(u unit, seeds []match.Assignment) {
+	if len(seeds) == 0 || w.eng.stopped.Load() {
+		return
+	}
+	units := make([]unit, len(seeds))
+	for i, sd := range seeds {
+		units[i] = unit{gfd: u.gfd, pivot: u.pivot, seed: sd}
+	}
+	w.enf.stats.UnitsSplit += len(units)
+	w.events <- cevent{kind: evSplit, worker: w.id, splits: units}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gfd"
+	"repro/internal/pattern"
+)
+
+// variantOptions enumerates the paper's algorithm variants: full ParSat/
+// ParImp, the np (no pipelining) and nb (no splitting) ablations, plus the
+// no-dependency-order ablation, across worker counts.
+func variantOptions(workers int) map[string]ParOptions {
+	mk := func(pipeline, split, dep bool) ParOptions {
+		return ParOptions{
+			Workers:    workers,
+			TTL:        5 * time.Millisecond,
+			Pipeline:   pipeline,
+			Splitting:  split,
+			DepOrder:   dep,
+			Simulation: true,
+		}
+	}
+	return map[string]ParOptions{
+		"full":    mk(true, true, true),
+		"np":      mk(false, true, true),
+		"nb":      mk(true, false, true),
+		"noorder": mk(true, true, false),
+	}
+}
+
+func TestParSatAgreesOnPaperExamples(t *testing.T) {
+	phi5 := gfd.MustNew("phi5", q5(), nil, []gfd.Literal{gfd.Const(0, "A", "0")})
+	phi6 := gfd.MustNew("phi6", q5(), nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	phi7 := gfd.MustNew("phi7", q6(), nil, []gfd.Literal{gfd.Const(0, "A", "0"), gfd.Const(1, "B", "1")})
+	phi8 := gfd.MustNew("phi8", q7(), []gfd.Literal{gfd.Const(1, "B", "1")}, []gfd.Literal{gfd.Const(0, "A", "1")})
+	phi9 := gfd.MustNew("phi9", q6(), []gfd.Literal{gfd.Const(1, "B", "1")}, []gfd.Literal{gfd.Const(3, "C", "1")})
+	phi10 := gfd.MustNew("phi10", q7(), []gfd.Literal{gfd.Const(3, "C", "1")}, []gfd.Literal{gfd.Const(0, "A", "1")})
+
+	sets := map[string]*gfd.Set{
+		"ex2-same-pattern":  gfd.NewSet(phi5, phi6),
+		"ex2-distinct":      gfd.NewSet(phi7, phi8),
+		"ex4-chain":         gfd.NewSet(phi7, phi9, phi10),
+		"sat-single":        gfd.NewSet(phi7),
+		"sat-chain-no-seed": gfd.NewSet(phi9, phi10),
+	}
+	for name, set := range sets {
+		want := SeqSat(set).Satisfiable
+		for p := 1; p <= 4; p += 3 {
+			for vname, opt := range variantOptions(p) {
+				got := ParSat(set, opt)
+				if got.Satisfiable != want {
+					t.Errorf("%s/%s/p=%d: ParSat=%v, SeqSat=%v", name, vname, p, got.Satisfiable, want)
+				}
+				if got.Satisfiable && got.Model != nil && !IsModel(got.Model, set) {
+					t.Errorf("%s/%s/p=%d: ParSat witness is not a model", name, vname, p)
+				}
+			}
+		}
+	}
+}
+
+func TestParImpAgreesOnPaperExamples(t *testing.T) {
+	sigma := impExample8Sigma()
+	phi13 := gfd.MustNew("phi13", q7(), []gfd.Literal{gfd.Const(2, "B", "2")}, []gfd.Literal{gfd.Const(2, "C", "2")})
+	phi14 := gfd.MustNew("phi14", q7(), []gfd.Literal{gfd.Const(0, "A", "0")}, []gfd.Literal{gfd.Const(2, "C", "2")})
+	notImp := gfd.MustNew("ni", q8(), nil, []gfd.Literal{gfd.Const(0, "A", "2")})
+
+	cases := []struct {
+		name string
+		phi  *gfd.GFD
+	}{
+		{"phi13-deduction", phi13},
+		{"phi14-conflict", phi14},
+		{"not-implied", notImp},
+	}
+	for _, c := range cases {
+		want := SeqImp(sigma, c.phi).Implied
+		for p := 1; p <= 4; p += 3 {
+			for vname, opt := range variantOptions(p) {
+				got := ParImp(sigma, c.phi, opt)
+				if got.Implied != want {
+					t.Errorf("%s/%s/p=%d: ParImp=%v, SeqImp=%v", c.name, vname, p, got.Implied, want)
+				}
+			}
+		}
+	}
+}
+
+// randomSet builds a random GFD set over a small label/attribute universe,
+// biased to produce both satisfiable and unsatisfiable instances.
+func randomSet(rng *rand.Rand, n int) *gfd.Set {
+	labels := []string{"a", "b", "c"}
+	attrs := []string{"A", "B"}
+	consts := []string{"0", "1"}
+	set := gfd.NewSet()
+	for i := 0; i < n; i++ {
+		p := pattern.New()
+		nv := 1 + rng.Intn(3)
+		for v := 0; v < nv; v++ {
+			p.AddVar(fmt.Sprintf("x%d", v), labels[rng.Intn(len(labels))])
+		}
+		for e := 0; e < nv; e++ {
+			from := pattern.Var(rng.Intn(nv))
+			to := pattern.Var(rng.Intn(nv))
+			p.AddEdge(from, to, "e")
+		}
+		mkLit := func() gfd.Literal {
+			x := pattern.Var(rng.Intn(nv))
+			if rng.Intn(3) == 0 && nv > 1 {
+				y := pattern.Var(rng.Intn(nv))
+				return gfd.Vars(x, attrs[rng.Intn(2)], y, attrs[rng.Intn(2)])
+			}
+			return gfd.Const(x, attrs[rng.Intn(2)], consts[rng.Intn(2)])
+		}
+		var xs, ys []gfd.Literal
+		for j := 0; j < rng.Intn(2); j++ {
+			xs = append(xs, mkLit())
+		}
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			ys = append(ys, mkLit())
+		}
+		set.Add(gfd.MustNew(fmt.Sprintf("g%d", i), p, xs, ys))
+	}
+	return set
+}
+
+func TestParSatAgreesOnRandomSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	satSeen, unsatSeen := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		set := randomSet(rng, 2+rng.Intn(4))
+		want := SeqSat(set)
+		if want.Satisfiable {
+			satSeen++
+			if want.Model == nil || !IsModel(want.Model, set) {
+				t.Fatalf("trial %d: SeqSat model invalid", trial)
+			}
+		} else {
+			unsatSeen++
+		}
+		opt := DefaultParOptions(3)
+		opt.TTL = 2 * time.Millisecond
+		got := ParSat(set, opt)
+		if got.Satisfiable != want.Satisfiable {
+			t.Errorf("trial %d: ParSat=%v SeqSat=%v\n%s", trial, got.Satisfiable, want.Satisfiable, set)
+		}
+	}
+	if satSeen == 0 || unsatSeen == 0 {
+		t.Fatalf("random generator degenerate: sat=%d unsat=%d", satSeen, unsatSeen)
+	}
+}
+
+func TestParImpAgreesOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	impSeen, notSeen := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		set := randomSet(rng, 1+rng.Intn(3))
+		phiSet := randomSet(rng, 1)
+		phi := phiSet.GFDs[0]
+		want := SeqImp(set, phi)
+		if want.Implied {
+			impSeen++
+		} else {
+			notSeen++
+		}
+		opt := DefaultParOptions(3)
+		opt.TTL = 2 * time.Millisecond
+		got := ParImp(set, phi, opt)
+		if got.Implied != want.Implied {
+			t.Errorf("trial %d: ParImp=%v SeqImp=%v\nΣ:\n%sφ: %s", trial, got.Implied, want.Implied, set, phi)
+		}
+	}
+	if impSeen == 0 || notSeen == 0 {
+		t.Fatalf("random generator degenerate: implied=%d not=%d", impSeen, notSeen)
+	}
+}
+
+// TestParSatManyWorkersSmallWork exercises the degenerate case of more
+// workers than units.
+func TestParSatManyWorkersSmallWork(t *testing.T) {
+	phi := gfd.MustNew("phi", q8(), nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	set := gfd.NewSet(phi)
+	opt := DefaultParOptions(16)
+	res := ParSat(set, opt)
+	if !res.Satisfiable {
+		t.Fatal("single satisfiable GFD reported unsat with 16 workers")
+	}
+}
+
+// TestParSatZeroWorkersClamped: Workers<1 is clamped to 1.
+func TestParSatZeroWorkersClamped(t *testing.T) {
+	phi := gfd.MustNew("phi", q8(), nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	opt := DefaultParOptions(0)
+	if !ParSat(gfd.NewSet(phi), opt).Satisfiable {
+		t.Fatal("clamped worker count broke ParSat")
+	}
+}
+
+// TestSplittingProducesSubUnits forces tiny TTL on a workload with a large
+// fan-out pattern so unit splitting actually triggers, then checks the
+// answer is still right.
+func TestSplittingProducesSubUnits(t *testing.T) {
+	// Pattern: hub(a) -p-> s1..s3 (all wildcard), over a set with several
+	// wide patterns; matching fans out combinatorially.
+	mkWide := func(name string, val string) *gfd.GFD {
+		p := pattern.New()
+		h := p.AddVar("h", "a")
+		for i := 0; i < 3; i++ {
+			s := p.AddVar(fmt.Sprintf("s%d", i), "b")
+			p.AddEdge(h, s, "p")
+		}
+		return gfd.MustNew(name, p, nil, []gfd.Literal{gfd.Const(h, "A", val)})
+	}
+	set := gfd.NewSet()
+	for i := 0; i < 6; i++ {
+		set.Add(mkWide(fmt.Sprintf("w%d", i), "1"))
+	}
+	opt := DefaultParOptions(4)
+	opt.TTL = 1 * time.Nanosecond // split at every opportunity
+	res := ParSat(set, opt)
+	if !res.Satisfiable {
+		t.Fatal("wide satisfiable set reported unsat under aggressive splitting")
+	}
+	if res.Stats.UnitsSplit == 0 {
+		t.Error("TTL=1ns produced no splits; splitting path untested")
+	}
+	// And an unsatisfiable variant still conflicts.
+	set.Add(mkWide("conflict", "2"))
+	res = ParSat(set, opt)
+	if res.Satisfiable {
+		t.Fatal("conflicting wide set reported satisfiable under splitting")
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/canon"
+	"repro/internal/eq"
+	"repro/internal/gfd"
+)
+
+// ParImp decides Σ |= φ with p parallel workers (Section VI-C). Work units
+// enforce GFDs of Σ on matches of their patterns in the canonical graph
+// G^X_Q, expanding Eq_H replicas in parallel; a worker raises the early
+// termination flag when its replica conflicts (antecedent inconsistent with
+// Σ) or deduces Y. The outcome equals SeqImp's on every input.
+func ParImp(set *gfd.Set, phi *gfd.GFD, opt ParOptions) *ImpResult {
+	cp := canon.BuildPhi(phi)
+	if cp.EqX.Conflicted() != nil {
+		return &ImpResult{Implied: true, Reason: ImpliedTrivially}
+	}
+	if cp.YDeduced(cp.EqX) {
+		return &ImpResult{Implied: true, Reason: ImpliedTrivially}
+	}
+	eng := &parEngine{
+		opt:    opt,
+		set:    set,
+		g:      cp.Graph,
+		baseEq: cp.EqX,
+		goal:   func(e *eq.Eq) bool { return cp.YDeduced(e) },
+	}
+	// Highest unit priority for GFDs whose antecedent X_ψ is subsumed by
+	// Eq_X — they fire immediately on G^X_Q (Section VI-C(a)).
+	eng.high = func(gi int) bool { return xSubsumedByEqX(set.GFDs[gi], cp.EqX) }
+	eng.buildUnits()
+	con, goalHit, _, stats := eng.run()
+	switch {
+	case con != nil:
+		return &ImpResult{Implied: true, Reason: ImpliedByConflict, Stats: stats}
+	case goalHit:
+		return &ImpResult{Implied: true, Reason: ImpliedByDeduction, Stats: stats}
+	default:
+		return &ImpResult{Implied: false, Reason: NotImplied, Stats: stats}
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/canon"
+	"repro/internal/gfd"
+	"repro/internal/graph"
+)
+
+// ParSat decides the satisfiability of Σ with p parallel workers
+// (Section V-B). It is parallel scalable relative to SeqSat: work units —
+// one per (pattern, pivot candidate) — are assigned dynamically from a
+// dependency-ordered priority queue, stragglers are split on a TTL, and
+// workers exchange monotone Eq deltas asynchronously. The outcome equals
+// SeqSat's on every input (Church–Rosser).
+func ParSat(set *gfd.Set, opt ParOptions) *SatResult {
+	if set.Len() == 0 {
+		m := graph.New()
+		m.AddNode("v")
+		return &SatResult{Satisfiable: true, Model: m}
+	}
+	cs := canon.BuildSigma(set)
+	eng := &parEngine{opt: opt, set: set, g: cs.Graph}
+	eng.buildUnits()
+	con, _, final, stats := eng.run()
+	if con != nil {
+		return &SatResult{Satisfiable: false, Conflict: con, Stats: stats}
+	}
+	// At quiescence every worker applied the whole broadcast log, so the
+	// returned relation is the converged global Eq; complete it into a
+	// witness model exactly as SeqSat does.
+	var model *graph.Graph
+	if final != nil {
+		model = CompleteModel(cs.Graph, final, set.Constants())
+	}
+	return &SatResult{Satisfiable: true, Model: model, Stats: stats}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"repro/internal/canon"
+	"repro/internal/depgraph"
+	"repro/internal/eq"
+	"repro/internal/gfd"
+	"repro/internal/match"
+)
+
+// ImpResult reports the outcome of an implication check Σ |= φ.
+type ImpResult struct {
+	Implied bool
+	// Reason distinguishes how implication was established.
+	Reason ImpReason
+	Stats  Stats
+}
+
+// ImpReason says why Σ |= φ holds (or doesn't).
+type ImpReason int
+
+const (
+	// NotImplied: the enforcement fixpoint neither conflicted nor deduced Y.
+	NotImplied ImpReason = iota
+	// ImpliedByDeduction: Y ⊆ Eq_H was deduced (Example 8's ϕ13 case).
+	ImpliedByDeduction
+	// ImpliedByConflict: Q, X and Σ are inconsistent together, so no match
+	// of Q can satisfy X in any model of Σ (Example 8's ϕ14 case).
+	ImpliedByConflict
+	// ImpliedTrivially: Y is empty or already deducible from X alone, or X
+	// itself is inconsistent.
+	ImpliedTrivially
+)
+
+func (r ImpReason) String() string {
+	switch r {
+	case ImpliedByDeduction:
+		return "consequent deduced"
+	case ImpliedByConflict:
+		return "antecedent inconsistent with Σ"
+	case ImpliedTrivially:
+		return "trivially implied"
+	default:
+		return "not implied"
+	}
+}
+
+// SeqImp decides whether Σ |= φ (Section VI-B).
+//
+// By Corollary 4 it suffices to enforce GFDs of Σ on matches of their
+// patterns in the canonical graph G^X_Q of φ, starting from Eq_X, and report
+// implication iff the expansion Eq_H conflicts or deduces Y.
+func SeqImp(set *gfd.Set, phi *gfd.GFD) *ImpResult {
+	cp := canon.BuildPhi(phi)
+	// X inconsistent on its own: no match ever satisfies X.
+	if cp.EqX.Conflicted() != nil {
+		return &ImpResult{Implied: true, Reason: ImpliedTrivially}
+	}
+	// Y already deducible from X (includes empty Y).
+	if cp.YDeduced(cp.EqX) {
+		return &ImpResult{Implied: true, Reason: ImpliedTrivially}
+	}
+	enf := newEnforcer(cp.EqX)
+
+	check := func() (done bool, res *ImpResult) {
+		if enf.conflict() != nil {
+			return true, &ImpResult{Implied: true, Reason: ImpliedByConflict, Stats: enf.stats}
+		}
+		if cp.YDeduced(enf.eq) {
+			return true, &ImpResult{Implied: true, Reason: ImpliedByDeduction, Stats: enf.stats}
+		}
+		return false, nil
+	}
+
+	order := orderForImplication(set, cp)
+	for _, gi := range order {
+		psi := set.GFDs[gi]
+		s := match.NewSearch(psi.Pattern, cp.Graph, match.Options{})
+		for {
+			h, ok := s.Next()
+			if !ok {
+				break
+			}
+			// offer/drain only fail on conflict; YDeduced is polled after.
+			if !enf.offer(psi, h) || !enf.drain() {
+				return &ImpResult{Implied: true, Reason: ImpliedByConflict, Stats: enf.stats}
+			}
+			if done, res := check(); done {
+				return res
+			}
+		}
+	}
+	if !enf.drain() {
+		return &ImpResult{Implied: true, Reason: ImpliedByConflict, Stats: enf.stats}
+	}
+	if done, res := check(); done {
+		return res
+	}
+	return &ImpResult{Implied: false, Reason: NotImplied, Stats: enf.stats}
+}
+
+// orderForImplication orders Σ like OrderGFDs but gives the highest priority
+// to GFDs whose antecedent is subsumed by Eq_X — they fire immediately on
+// G^X_Q (Section VI-C(a)). GFDs with empty antecedents qualify trivially.
+func orderForImplication(set *gfd.Set, cp *canon.Phi) []int {
+	base := depgraph.OrderGFDs(set)
+	subsumed := make(map[int]bool)
+	for i, psi := range set.GFDs {
+		if xSubsumedByEqX(psi, cp.EqX) {
+			subsumed[i] = true
+		}
+	}
+	var front, back []int
+	for _, i := range base {
+		if subsumed[i] {
+			front = append(front, i)
+		} else {
+			back = append(back, i)
+		}
+	}
+	return append(front, back...)
+}
+
+// xSubsumedByEqX approximates "X subsumes X_ψ": every antecedent literal of
+// ψ is deducible from Eq_X under some assignment — tested attribute-wise
+// (a constant literal needs some Eq_X class with that constant on the same
+// attribute; a variable literal needs a class containing both attributes or
+// an empty requirement). This is a priority heuristic only; correctness does
+// not depend on it.
+func xSubsumedByEqX(psi *gfd.GFD, ex *eq.Eq) bool {
+	if len(psi.X) == 0 {
+		return true
+	}
+	terms := ex.AllTerms()
+	for _, l := range psi.X {
+		ok := false
+		switch l.Kind {
+		case gfd.ConstLiteral:
+			for _, t := range terms {
+				if t.Attr != l.A {
+					continue
+				}
+				if c, has := ex.Const(t); has && c == l.Const {
+					ok = true
+					break
+				}
+			}
+		case gfd.VarLiteral:
+			for _, t := range terms {
+				if t.Attr != l.A {
+					continue
+				}
+				for _, u := range ex.Members(t) {
+					if u.Attr == l.B && !(u == t) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					break
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

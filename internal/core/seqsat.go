@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/canon"
+	"repro/internal/depgraph"
+	"repro/internal/eq"
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/match"
+)
+
+// SatResult reports the outcome of a satisfiability check.
+type SatResult struct {
+	Satisfiable bool
+	// Conflict explains unsatisfiability: the attribute term forced to two
+	// distinct constants.
+	Conflict *eq.Conflict
+	// Model is a witness model (an Σ-bounded population of G_Σ) when
+	// satisfiable; nil otherwise.
+	Model *graph.Graph
+	Stats Stats
+}
+
+// SeqSat decides whether Σ is satisfiable (Section IV-C).
+//
+// By the small model property (Theorem 1), Σ is satisfiable iff some
+// Σ-bounded population of the canonical graph G_Σ is a model. SeqSat builds
+// G_Σ, enforces every GFD on every match of its pattern in G_Σ — expanding
+// the equivalence relation Eq with Rules 1 and 2 and parking matches whose
+// antecedents are not yet instantiated in an inverted index — and reports
+// unsatisfiable exactly when a class is forced to two distinct constants.
+// It terminates early on the first conflict.
+func SeqSat(set *gfd.Set) *SatResult {
+	if set.Len() == 0 {
+		// The empty set is satisfied by any nonempty graph.
+		m := graph.New()
+		m.AddNode("v")
+		return &SatResult{Satisfiable: true, Model: m}
+	}
+	cs := canon.BuildSigma(set)
+	enf := newEnforcer(nil)
+
+	// Process GFDs of the form Q[x̄](∅→Y) first, then follow the interaction
+	// order; the pending index makes the result order-independent
+	// (Church–Rosser), ordering just reduces re-checks.
+	order := depgraph.OrderGFDs(set)
+	for _, gi := range order {
+		phi := set.GFDs[gi]
+		s := match.NewSearch(phi.Pattern, cs.Graph, match.Options{})
+		for {
+			h, ok := s.Next()
+			if !ok {
+				break
+			}
+			if !enf.offer(phi, h) || !enf.drain() {
+				return &SatResult{Satisfiable: false, Conflict: enf.conflict(), Stats: enf.stats}
+			}
+		}
+	}
+	if !enf.drain() {
+		return &SatResult{Satisfiable: false, Conflict: enf.conflict(), Stats: enf.stats}
+	}
+	// No conflict: complete F^Σ_A by giving every uninstantiated class a
+	// fresh distinct constant (Section IV-C(c)).
+	model := CompleteModel(cs.Graph, enf.eq, set.Constants())
+	return &SatResult{Satisfiable: true, Model: model, Stats: enf.stats}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/match"
+)
+
+// Violation describes one failure of G |= φ: a match whose antecedent holds
+// but whose consequent does not.
+type Violation struct {
+	GFD   *gfd.GFD
+	Match match.Assignment
+}
+
+// Satisfies reports whether G |= Σ under the literal semantics of Section
+// III (actual attribute values, not the deduced Eq semantics), returning
+// the first violation found. It is the test oracle for the reasoning
+// algorithms and the checker applications use for error detection.
+func Satisfies(g *graph.Graph, set *gfd.Set) (bool, *Violation) {
+	for _, phi := range set.GFDs {
+		s := match.NewSearch(phi.Pattern, g, match.Options{})
+		for {
+			h, ok := s.Next()
+			if !ok {
+				break
+			}
+			if holdsLiterals(g, h, phi.X) && !holdsLiterals(g, h, phi.Y) {
+				return false, &Violation{GFD: phi, Match: h}
+			}
+		}
+	}
+	return true, nil
+}
+
+// Violations enumerates every violation of Σ in G (error detection /
+// inconsistency catching, the paper's motivating application).
+func Violations(g *graph.Graph, set *gfd.Set) []Violation {
+	var out []Violation
+	for _, phi := range set.GFDs {
+		s := match.NewSearch(phi.Pattern, g, match.Options{})
+		for {
+			h, ok := s.Next()
+			if !ok {
+				break
+			}
+			if holdsLiterals(g, h, phi.X) && !holdsLiterals(g, h, phi.Y) {
+				out = append(out, Violation{GFD: phi, Match: h})
+			}
+		}
+	}
+	return out
+}
+
+// holdsLiterals evaluates a literal set at a match against G's actual
+// attribute values: x.A = c holds iff attribute A exists at h(x) with value
+// c; x.A = y.B iff both attributes exist and are equal.
+func holdsLiterals(g *graph.Graph, h match.Assignment, ls []gfd.Literal) bool {
+	for _, l := range ls {
+		switch l.Kind {
+		case gfd.ConstLiteral:
+			v, ok := g.Attr(h[l.X], l.A)
+			if !ok || v != l.Const {
+				return false
+			}
+		case gfd.VarLiteral:
+			v1, ok1 := g.Attr(h[l.X], l.A)
+			v2, ok2 := g.Attr(h[l.Y], l.B)
+			if !ok1 || !ok2 || v1 != v2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsModel reports whether G is a model of Σ: G |= Σ, G is nonempty, and
+// every pattern of Σ has at least one match in G (Section IV's definition).
+func IsModel(g *graph.Graph, set *gfd.Set) bool {
+	if g.NumNodes() == 0 {
+		return false
+	}
+	if ok, _ := Satisfies(g, set); !ok {
+		return false
+	}
+	for _, phi := range set.GFDs {
+		s := match.NewSearch(phi.Pattern, g, match.Options{})
+		if _, ok := s.Next(); !ok {
+			return false
+		}
+	}
+	return true
+}

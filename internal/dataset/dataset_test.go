@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestProfileStatisticsMatchPaper(t *testing.T) {
+	cases := []struct {
+		p         *Profile
+		nodeTypes int
+		edgeTypes int
+		gfdCount  int
+	}{
+		{DBpedia(), 200, 160, 8000},
+		{YAGO2(), 13, 36, 6000},
+		{Pokec(), 269, 11, 10000},
+	}
+	for _, c := range cases {
+		if len(c.p.NodeLabels) != c.nodeTypes {
+			t.Errorf("%s node types = %d, want %d", c.p.Name, len(c.p.NodeLabels), c.nodeTypes)
+		}
+		if len(c.p.EdgeLabels) != c.edgeTypes {
+			t.Errorf("%s edge types = %d, want %d", c.p.Name, len(c.p.EdgeLabels), c.edgeTypes)
+		}
+		if c.p.GFDCount != c.gfdCount {
+			t.Errorf("%s GFD count = %d, want %d", c.p.Name, c.p.GFDCount, c.gfdCount)
+		}
+	}
+	if len(All()) != 3 {
+		t.Error("All() should return the three paper datasets")
+	}
+}
+
+func TestSampleGraphShape(t *testing.T) {
+	p := YAGO2()
+	g := p.SampleGraph(GraphConfig{Nodes: 500, EdgesPerNode: 3, Seed: 1})
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 1000 {
+		t.Fatalf("edges = %d, want ≈1500 (some dedup expected)", g.NumEdges())
+	}
+	// Labels are skewed: the most frequent label covers a disproportionate
+	// share.
+	max := 0
+	for _, l := range g.Labels() {
+		if n := g.LabelFrequency(l); n > max {
+			max = n
+		}
+	}
+	if max < 500/len(p.NodeLabels)*2 {
+		t.Errorf("label distribution looks uniform: max frequency %d", max)
+	}
+}
+
+func TestSampleGraphDeterministic(t *testing.T) {
+	p := DBpedia()
+	a := p.SampleGraph(GraphConfig{Nodes: 100, Seed: 5})
+	b := p.SampleGraph(GraphConfig{Nodes: 100, Seed: 5})
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := p.SampleGraph(GraphConfig{Nodes: 100, Seed: 6})
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestSampleGraphHasMineableFDs(t *testing.T) {
+	// Even offsets are label-determined: every node of one label must agree
+	// on the first attribute of its slice.
+	p := Pokec()
+	g := p.SampleGraph(GraphConfig{Nodes: 300, AttrsPerNode: 2, Seed: 2})
+	byLabel := make(map[string]map[string]string) // label → attr → value
+	for i := 0; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		label := g.Label(id)
+		for a, v := range g.Attrs(id) {
+			if byLabel[label] == nil {
+				byLabel[label] = map[string]string{}
+			}
+			if prev, ok := byLabel[label][a]; ok && prev != v && v[:1] != "v" && prev[:1] != "v" {
+				t.Fatalf("label-determined attr %s of %s has two values %q %q", a, label, prev, v)
+			}
+			if _, ok := byLabel[label][a]; !ok {
+				byLabel[label][a] = v
+			}
+		}
+	}
+}
+
+func TestZipfIndexBounds(t *testing.T) {
+	p := YAGO2()
+	g := p.SampleGraph(GraphConfig{Nodes: 50, Seed: 3})
+	for _, l := range g.Labels() {
+		found := false
+		for _, known := range p.NodeLabels {
+			if l == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("unknown label %q in sampled graph", l)
+		}
+	}
+}

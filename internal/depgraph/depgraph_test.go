@@ -1,0 +1,149 @@
+package depgraph
+
+import (
+	"testing"
+
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func mk(label string, x []gfd.Literal, y []gfd.Literal) *gfd.GFD {
+	p := pattern.New()
+	p.AddVar("x", label)
+	return gfd.MustNew("g", p, x, y)
+}
+
+func TestFeeds(t *testing.T) {
+	// ψ1 writes A on label a; ψ2 reads A on label a → feeds.
+	psi1 := mk("a", nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	psi2 := mk("a", []gfd.Literal{gfd.Const(0, "A", "1")}, []gfd.Literal{gfd.Const(0, "B", "1")})
+	psi3 := mk("b", []gfd.Literal{gfd.Const(0, "A", "1")}, nil) // different label
+	psi4 := mk("a", []gfd.Literal{gfd.Const(0, "C", "1")}, nil) // different attr
+	it := NewInteraction(gfd.NewSet(psi1, psi2, psi3, psi4))
+	if !it.Feeds(0, 1) {
+		t.Error("same-label same-attr should feed")
+	}
+	if it.Feeds(0, 2) {
+		t.Error("label-incompatible attrs should not feed")
+	}
+	if it.Feeds(0, 3) {
+		t.Error("different attribute should not feed")
+	}
+	if it.Feeds(1, 0) {
+		t.Error("feeding is directional (Y1 → X2)")
+	}
+}
+
+func TestFeedsWildcardCompat(t *testing.T) {
+	w := mk(graph.Wildcard, nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	c := mk("a", []gfd.Literal{gfd.Const(0, "A", "1")}, nil)
+	it := NewInteraction(gfd.NewSet(w, c))
+	if !it.Feeds(0, 1) {
+		t.Error("wildcard consequent should feed any label's antecedent")
+	}
+}
+
+func TestFeedsVarLiteralBothSides(t *testing.T) {
+	// A variable literal mentions two attributes; both count.
+	p := pattern.New()
+	p.AddVar("x", "a")
+	p.AddVar("y", "b")
+	writer := gfd.MustNew("w", p, nil, []gfd.Literal{gfd.Vars(0, "A", 1, "B")})
+	readerB := mk("b", []gfd.Literal{gfd.Const(0, "B", "1")}, nil)
+	it := NewInteraction(gfd.NewSet(writer, readerB))
+	if !it.Feeds(0, 1) {
+		t.Error("var literal's rhs attribute not seen as written")
+	}
+}
+
+func TestOrderGFDsEmptyXFirst(t *testing.T) {
+	a := mk("a", []gfd.Literal{gfd.Const(0, "A", "1")}, []gfd.Literal{gfd.Const(0, "B", "1")})
+	b := mk("a", nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	set := gfd.NewSet(a, b)
+	order := OrderGFDs(set)
+	if order[0] != 1 {
+		t.Errorf("order = %v; the ∅-antecedent GFD must come first", order)
+	}
+}
+
+func TestOrderGFDsTopological(t *testing.T) {
+	// c writes C; b reads C writes B; a reads B. All nonempty X so the
+	// partition doesn't reorder. Expect c before b before a.
+	a := mk("a", []gfd.Literal{gfd.Const(0, "B", "1")}, []gfd.Literal{gfd.Const(0, "Z", "1")})
+	b := mk("a", []gfd.Literal{gfd.Const(0, "C", "1")}, []gfd.Literal{gfd.Const(0, "B", "1")})
+	c := mk("a", []gfd.Literal{gfd.Const(0, "D", "1")}, []gfd.Literal{gfd.Const(0, "C", "1")})
+	set := gfd.NewSet(a, b, c)
+	order := OrderGFDs(set)
+	pos := make(map[int]int)
+	for i, g := range order {
+		pos[g] = i
+	}
+	if !(pos[2] < pos[1] && pos[1] < pos[0]) {
+		t.Errorf("order = %v; want writer-before-reader (c,b,a)", order)
+	}
+}
+
+func TestOrderGFDsCycleTerminates(t *testing.T) {
+	// a and b feed each other: SCC condensation must still give a total
+	// order containing both.
+	a := mk("a", []gfd.Literal{gfd.Const(0, "A", "1")}, []gfd.Literal{gfd.Const(0, "B", "1")})
+	b := mk("a", []gfd.Literal{gfd.Const(0, "B", "1")}, []gfd.Literal{gfd.Const(0, "A", "1")})
+	order := OrderGFDs(gfd.NewSet(a, b))
+	if len(order) != 2 {
+		t.Fatalf("cyclic order = %v", order)
+	}
+}
+
+func TestUnitDepsRequiresProximity(t *testing.T) {
+	// Two units with feeding GFDs but far-apart pivots: no edge. Close
+	// pivots: edge.
+	writer := mk("a", nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	reader := mk("a", []gfd.Literal{gfd.Const(0, "A", "1")}, []gfd.Literal{gfd.Const(0, "B", "1")})
+	set := gfd.NewSet(writer, reader)
+	it := NewInteraction(set)
+
+	g := graph.New()
+	n0 := g.AddNode("a")
+	n1 := g.AddNode("a")
+	g.AddEdge(n0, n1, "e") // adjacent
+	far := g.AddNode("a")  // isolated
+
+	units := []Unit{
+		{GFD: 0, Pivot: n0},
+		{GFD: 1, Pivot: n1},
+		{GFD: 1, Pivot: far},
+	}
+	radii := []int{1, 1}
+	adj := UnitDeps(units, it, g, radii)
+	found := func(from, to int) bool {
+		for _, x := range adj[from] {
+			if x == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !found(0, 1) {
+		t.Error("adjacent feeding units not linked")
+	}
+	if found(0, 2) {
+		t.Error("distant pivots linked though out of d_Q reach")
+	}
+}
+
+func TestUnitPrioritiesHighFirst(t *testing.T) {
+	writer := mk("a", nil, []gfd.Literal{gfd.Const(0, "A", "1")})
+	reader := mk("a", []gfd.Literal{gfd.Const(0, "A", "1")}, nil)
+	set := gfd.NewSet(writer, reader)
+	units := []Unit{{GFD: 1, Pivot: 0}, {GFD: 0, Pivot: 0}}
+	ranks := UnitPriorities(units, make([][]int, 2), set, nil)
+	if !(ranks[1] < ranks[0]) {
+		t.Errorf("ranks = %v; ∅-antecedent unit must rank first", ranks)
+	}
+	// Custom highFirst inverts the choice.
+	ranks = UnitPriorities(units, make([][]int, 2), set, func(u Unit) bool { return u.GFD == 1 })
+	if !(ranks[0] < ranks[1]) {
+		t.Errorf("custom highFirst ignored: %v", ranks)
+	}
+}

@@ -1,0 +1,360 @@
+// Package eq implements the equivalence relation Eq of Section IV-C: a
+// union-find over attribute terms x.A (node–attribute pairs of a canonical
+// graph) where each class may carry at most one constant. Enforcing a GFD at
+// a match expands Eq via:
+//
+//	Rule 1 (x.A = c):   create [x.A] if missing and add c; two distinct
+//	                    constants in one class is a conflict.
+//	Rule 2 (x.A = y.B): create missing classes and merge them; a merged
+//	                    class with distinct constants is a conflict.
+//
+// Eq is monotone (classes only grow, constants are never retracted), so
+// deltas taken from one replica can be replayed on another in any order and
+// all replicas converge — the property the parallel algorithms rely on for
+// asynchronous broadcast.
+//
+// Internally terms are interned to dense integer ids so the union-find runs
+// on flat slices; this keeps delta replay (p workers × |log| ops in the
+// parallel algorithms) off the string-hashing path.
+package eq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Term is an attribute term x.A: attribute Attr at canonical-graph node Node.
+type Term struct {
+	Node graph.NodeID
+	Attr string
+}
+
+func (t Term) String() string { return fmt.Sprintf("%d.%s", t.Node, t.Attr) }
+
+// Conflict records the first contradiction found: a class required to equal
+// two distinct constants.
+type Conflict struct {
+	Term   Term
+	C1, C2 string
+}
+
+func (c *Conflict) Error() string {
+	return fmt.Sprintf("eq: conflict at %s: %q vs %q", c.Term, c.C1, c.C2)
+}
+
+// OpKind tags delta operations.
+type OpKind int
+
+const (
+	// OpAssign records "constant C was attached to the class of T".
+	OpAssign OpKind = iota
+	// OpMerge records "the classes of T and U were merged".
+	OpMerge
+)
+
+// Op is one monotone mutation, replayable on another replica.
+type Op struct {
+	Kind OpKind
+	T, U Term
+	C    string
+}
+
+// Delta is an ordered batch of operations taken from a replica.
+type Delta []Op
+
+const noConst = -1
+
+// Eq is the equivalence relation. The zero value is not usable; construct
+// with New. Eq is not safe for concurrent use; each worker owns a replica.
+type Eq struct {
+	ids   map[Term]int32
+	terms []Term
+
+	parent []int32
+	rank   []int8
+	consts []int32   // per root: index into constVals, or noConst
+	member [][]int32 // per root: member term ids
+
+	constIDs  map[string]int32
+	constVals []string
+
+	con *Conflict
+	log Delta // mutations since the last TakeDelta
+	// replaying suppresses logging while Apply replays a remote delta, so
+	// received ops are not re-broadcast by the receiving worker.
+	replaying bool
+}
+
+// New returns an empty relation.
+func New() *Eq {
+	return &Eq{
+		ids:      make(map[Term]int32),
+		constIDs: make(map[string]int32),
+	}
+}
+
+// Len returns the number of terms tracked.
+func (e *Eq) Len() int { return len(e.terms) }
+
+// Conflicted returns the first conflict found, or nil.
+func (e *Eq) Conflicted() *Conflict { return e.con }
+
+// Has reports whether the class [t] exists.
+func (e *Eq) Has(t Term) bool {
+	_, ok := e.ids[t]
+	return ok
+}
+
+// intern returns the id of t, creating its singleton class if needed.
+func (e *Eq) intern(t Term) (int32, bool) {
+	if id, ok := e.ids[t]; ok {
+		return id, false
+	}
+	id := int32(len(e.terms))
+	e.ids[t] = id
+	e.terms = append(e.terms, t)
+	e.parent = append(e.parent, id)
+	e.rank = append(e.rank, 0)
+	e.consts = append(e.consts, noConst)
+	e.member = append(e.member, []int32{id})
+	return id, true
+}
+
+func (e *Eq) constID(c string) int32 {
+	if id, ok := e.constIDs[c]; ok {
+		return id
+	}
+	id := int32(len(e.constVals))
+	e.constIDs[c] = id
+	e.constVals = append(e.constVals, c)
+	return id
+}
+
+// Ensure creates the singleton class [t] if missing and reports whether it
+// was created.
+func (e *Eq) Ensure(t Term) bool {
+	_, created := e.intern(t)
+	return created
+}
+
+func (e *Eq) find(id int32) int32 {
+	root := id
+	for e.parent[root] != root {
+		root = e.parent[root]
+	}
+	for e.parent[id] != root {
+		id, e.parent[id] = e.parent[id], root
+	}
+	return root
+}
+
+// Const returns the constant attached to [t], if any.
+func (e *Eq) Const(t Term) (string, bool) {
+	id, ok := e.ids[t]
+	if !ok {
+		return "", false
+	}
+	ci := e.consts[e.find(id)]
+	if ci == noConst {
+		return "", false
+	}
+	return e.constVals[ci], true
+}
+
+// Same reports whether t and u exist and are in the same class.
+func (e *Eq) Same(t, u Term) bool {
+	it, ok1 := e.ids[t]
+	iu, ok2 := e.ids[u]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return e.find(it) == e.find(iu)
+}
+
+// Members returns every term in the class of t (nil if absent). The slice
+// is freshly allocated.
+func (e *Eq) Members(t Term) []Term {
+	id, ok := e.ids[t]
+	if !ok {
+		return nil
+	}
+	return e.toTerms(e.member[e.find(id)])
+}
+
+func (e *Eq) toTerms(ids []int32) []Term {
+	out := make([]Term, len(ids))
+	for i, id := range ids {
+		out[i] = e.terms[id]
+	}
+	return out
+}
+
+// AssignConst enforces the literal t = c (Rule 1). It returns the terms
+// whose class changed (for pending-match re-checking) — empty when c was
+// already present. On contradiction it records a conflict and still returns
+// the class members so callers can observe the change.
+func (e *Eq) AssignConst(t Term, c string) []Term {
+	id, _ := e.intern(t)
+	root := e.find(id)
+	ci := e.constID(c)
+	switch old := e.consts[root]; {
+	case old == noConst:
+		e.consts[root] = ci
+		e.logOp(Op{Kind: OpAssign, T: t, C: c})
+		return e.toTerms(e.member[root])
+	case old == ci:
+		return nil
+	default:
+		if e.con == nil {
+			e.con = &Conflict{Term: t, C1: e.constVals[old], C2: c}
+		}
+		e.logOp(Op{Kind: OpAssign, T: t, C: c})
+		return e.toTerms(e.member[root])
+	}
+}
+
+// Merge enforces the literal t = u (Rule 2). It returns the terms whose
+// class changed (the members of the absorbed side plus, when a constant
+// propagates, the whole merged class), or nil when t and u were already
+// equivalent. A merge joining classes with distinct constants records a
+// conflict.
+func (e *Eq) Merge(t, u Term) []Term {
+	it, _ := e.intern(t)
+	iu, _ := e.intern(u)
+	rt, ru := e.find(it), e.find(iu)
+	if rt == ru {
+		return nil
+	}
+	// Union by rank; keep rt as the surviving root.
+	if e.rank[rt] < e.rank[ru] {
+		rt, ru = ru, rt
+	}
+	if e.rank[rt] == e.rank[ru] {
+		e.rank[rt]++
+	}
+	ct, cu := e.consts[rt], e.consts[ru]
+
+	var changed []int32
+	changed = append(changed, e.member[ru]...)
+	if cu != noConst && ct == noConst {
+		// The absorbed side's constant now constrains the survivor's members.
+		changed = append(changed, e.member[rt]...)
+	}
+
+	e.parent[ru] = rt
+	e.member[rt] = append(e.member[rt], e.member[ru]...)
+	e.member[ru] = nil
+	switch {
+	case ct != noConst && cu != noConst && ct != cu:
+		if e.con == nil {
+			e.con = &Conflict{Term: t, C1: e.constVals[ct], C2: e.constVals[cu]}
+		}
+	case cu != noConst && ct == noConst:
+		e.consts[rt] = cu
+	}
+	e.consts[ru] = noConst
+	e.logOp(Op{Kind: OpMerge, T: t, U: u})
+	return e.toTerms(changed)
+}
+
+// TakeDelta returns the mutations applied since the previous TakeDelta and
+// resets the log. Replaying the delta on another replica reproduces the
+// semantic content (classes and constants), independent of interleaving
+// with that replica's own mutations.
+func (e *Eq) TakeDelta() Delta {
+	d := e.log
+	e.log = nil
+	return d
+}
+
+func (e *Eq) logOp(op Op) {
+	if !e.replaying {
+		e.log = append(e.log, op)
+	}
+}
+
+// Apply replays a delta from another replica and returns the terms whose
+// class changed. Conflicts discovered during replay are recorded exactly as
+// for local mutations. Replayed ops are not re-logged, so a worker never
+// re-broadcasts what it received.
+func (e *Eq) Apply(d Delta) []Term {
+	e.replaying = true
+	defer func() { e.replaying = false }()
+	var changed []Term
+	for _, op := range d {
+		switch op.Kind {
+		case OpAssign:
+			changed = append(changed, e.AssignConst(op.T, op.C)...)
+		case OpMerge:
+			changed = append(changed, e.Merge(op.T, op.U)...)
+		}
+	}
+	return changed
+}
+
+// Clone returns an independent deep copy, including any pending log and
+// conflict.
+func (e *Eq) Clone() *Eq {
+	c := &Eq{
+		ids:       make(map[Term]int32, len(e.ids)),
+		terms:     append([]Term{}, e.terms...),
+		parent:    append([]int32{}, e.parent...),
+		rank:      append([]int8{}, e.rank...),
+		consts:    append([]int32{}, e.consts...),
+		member:    make([][]int32, len(e.member)),
+		constIDs:  make(map[string]int32, len(e.constIDs)),
+		constVals: append([]string{}, e.constVals...),
+		log:       append(Delta{}, e.log...),
+	}
+	for t, id := range e.ids {
+		c.ids[t] = id
+	}
+	for i, m := range e.member {
+		if m != nil {
+			c.member[i] = append([]int32{}, m...)
+		}
+	}
+	for s, id := range e.constIDs {
+		c.constIDs[s] = id
+	}
+	if e.con != nil {
+		cc := *e.con
+		c.con = &cc
+	}
+	return c
+}
+
+// AllTerms returns every term the relation tracks, in no particular order.
+// The slice is the relation's interning table; callers must not mutate it.
+func (e *Eq) AllTerms() []Term { return e.terms }
+
+// AllConsts returns every constant the relation has seen.
+func (e *Eq) AllConsts() []string { return e.constVals }
+
+// Classes returns a canonical rendering of the relation: each class as its
+// sorted member list plus constant, classes sorted lexicographically. Two
+// replicas with equal Classes() output are semantically identical — used by
+// convergence tests.
+func (e *Eq) Classes() string {
+	var lines []string
+	for i, m := range e.member {
+		if m == nil || e.parent[int32(i)] != int32(i) {
+			continue
+		}
+		names := make([]string, len(m))
+		for j, id := range m {
+			names[j] = e.terms[id].String()
+		}
+		sort.Strings(names)
+		line := strings.Join(names, ",")
+		if ci := e.consts[i]; ci != noConst {
+			line += "=" + e.constVals[ci]
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

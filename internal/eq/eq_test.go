@@ -1,0 +1,217 @@
+package eq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func tm(n int, a string) Term { return Term{Node: graph.NodeID(n), Attr: a} }
+
+func TestAssignConstRule1(t *testing.T) {
+	e := New()
+	changed := e.AssignConst(tm(0, "A"), "1")
+	if len(changed) != 1 {
+		t.Fatalf("first assign changed %d terms, want 1", len(changed))
+	}
+	if c, ok := e.Const(tm(0, "A")); !ok || c != "1" {
+		t.Fatalf("Const = %q,%v", c, ok)
+	}
+	// Re-assigning the same constant is a no-op.
+	if changed := e.AssignConst(tm(0, "A"), "1"); changed != nil {
+		t.Error("idempotent assign reported a change")
+	}
+	if e.Conflicted() != nil {
+		t.Fatal("spurious conflict")
+	}
+	// A distinct constant conflicts.
+	e.AssignConst(tm(0, "A"), "2")
+	con := e.Conflicted()
+	if con == nil {
+		t.Fatal("conflict not detected")
+	}
+	if (con.C1 != "1" || con.C2 != "2") && (con.C1 != "2" || con.C2 != "1") {
+		t.Errorf("conflict constants = %q,%q", con.C1, con.C2)
+	}
+}
+
+func TestMergeRule2(t *testing.T) {
+	e := New()
+	e.AssignConst(tm(0, "A"), "7")
+	if e.Same(tm(0, "A"), tm(1, "B")) {
+		t.Fatal("distinct singletons reported equal")
+	}
+	e.Merge(tm(0, "A"), tm(1, "B"))
+	if !e.Same(tm(0, "A"), tm(1, "B")) {
+		t.Fatal("merge did not join classes")
+	}
+	// The constant propagates to the merged class.
+	if c, ok := e.Const(tm(1, "B")); !ok || c != "7" {
+		t.Fatalf("merged const = %q,%v, want 7", c, ok)
+	}
+	// Merging the same pair again is a no-op.
+	if changed := e.Merge(tm(0, "A"), tm(1, "B")); changed != nil {
+		t.Error("idempotent merge reported change")
+	}
+}
+
+func TestMergeConflictingConstants(t *testing.T) {
+	e := New()
+	e.AssignConst(tm(0, "A"), "1")
+	e.AssignConst(tm(1, "B"), "2")
+	e.Merge(tm(0, "A"), tm(1, "B"))
+	if e.Conflicted() == nil {
+		t.Fatal("merge of classes with distinct constants must conflict")
+	}
+}
+
+func TestTransitivityViaMerges(t *testing.T) {
+	e := New()
+	e.Merge(tm(0, "A"), tm(1, "B"))
+	e.Merge(tm(1, "B"), tm(2, "C"))
+	if !e.Same(tm(0, "A"), tm(2, "C")) {
+		t.Fatal("transitivity broken")
+	}
+	e.AssignConst(tm(2, "C"), "v")
+	if c, _ := e.Const(tm(0, "A")); c != "v" {
+		t.Fatal("constant not visible across transitive class")
+	}
+}
+
+func TestChangedTermsOnConstPropagation(t *testing.T) {
+	e := New()
+	e.Merge(tm(0, "A"), tm(1, "B"))
+	// Assigning to one member must report the whole class as changed so
+	// pending matches keyed on either term get re-checked.
+	changed := e.AssignConst(tm(1, "B"), "9")
+	if len(changed) != 2 {
+		t.Fatalf("changed = %v, want both class members", changed)
+	}
+	// Merging a constant-bearing class into a bare one reports the bare
+	// side's members too (they just gained a constant).
+	e2 := New()
+	e2.AssignConst(tm(0, "A"), "1")
+	e2.Ensure(tm(1, "B"))
+	e2.Ensure(tm(2, "C"))
+	e2.Merge(tm(1, "B"), tm(2, "C"))
+	changed = e2.Merge(tm(0, "A"), tm(1, "B"))
+	seen := map[Term]bool{}
+	for _, c := range changed {
+		seen[c] = true
+	}
+	if !seen[tm(1, "B")] || !seen[tm(2, "C")] {
+		t.Errorf("constant propagation changed-set missing bare members: %v", changed)
+	}
+}
+
+func TestDeltaReplayConverges(t *testing.T) {
+	a, b := New(), New()
+	a.AssignConst(tm(0, "A"), "1")
+	a.Merge(tm(0, "A"), tm(1, "B"))
+	d := a.TakeDelta()
+	if len(d) != 2 {
+		t.Fatalf("delta ops = %d, want 2", len(d))
+	}
+	b.Apply(d)
+	if a.Classes() != b.Classes() {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", a.Classes(), b.Classes())
+	}
+	// Replays are idempotent and do not re-log.
+	b.TakeDelta()
+	b.Apply(d)
+	if got := b.TakeDelta(); len(got) != 0 {
+		t.Errorf("idempotent replay re-logged %d ops", len(got))
+	}
+}
+
+func TestConcurrentDeltasCommute(t *testing.T) {
+	// Two workers make disjoint-then-overlapping changes; applying each
+	// other's deltas in opposite orders must converge (Church–Rosser).
+	w1, w2 := New(), New()
+	w1.AssignConst(tm(0, "A"), "1")
+	w1.Merge(tm(0, "A"), tm(1, "B"))
+	d1 := w1.TakeDelta()
+	w2.Merge(tm(1, "B"), tm(2, "C"))
+	w2.AssignConst(tm(3, "D"), "4")
+	d2 := w2.TakeDelta()
+	w1.Apply(d2)
+	w2.Apply(d1)
+	if w1.Classes() != w2.Classes() {
+		t.Fatalf("asynchronous application diverged:\n%s\nvs\n%s", w1.Classes(), w2.Classes())
+	}
+	if c, _ := w1.Const(tm(2, "C")); c != "1" {
+		t.Errorf("constant did not flow through cross-worker merge: %q", c)
+	}
+}
+
+func TestConflictSurvivesReplay(t *testing.T) {
+	a := New()
+	a.AssignConst(tm(0, "A"), "1")
+	a.AssignConst(tm(0, "A"), "2")
+	if a.Conflicted() == nil {
+		t.Fatal("no local conflict")
+	}
+	d := a.TakeDelta()
+	b := New()
+	b.Apply(d)
+	if b.Conflicted() == nil {
+		t.Fatal("conflict lost in replay")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New()
+	a.AssignConst(tm(0, "A"), "1")
+	c := a.Clone()
+	c.Merge(tm(0, "A"), tm(5, "Z"))
+	if a.Same(tm(0, "A"), tm(5, "Z")) {
+		t.Fatal("clone mutation leaked")
+	}
+	if c.Classes() == a.Classes() {
+		t.Fatal("clone did not record its own mutation")
+	}
+}
+
+// Property: for random operation sequences executed on one replica and
+// replayed (possibly interleaved with local ops) on another, both replicas
+// converge to identical classes — the monotone-confluence property the
+// asynchronous broadcast relies on.
+func TestQuickDeltaConfluence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		full := New()
+		var ops []Op
+		randTerm := func() Term { return tm(rng.Intn(6), string(rune('A'+rng.Intn(3)))) }
+		for i := 0; i < 30; i++ {
+			if rng.Intn(2) == 0 {
+				op := Op{Kind: OpAssign, T: randTerm(), C: string(rune('0' + rng.Intn(3)))}
+				ops = append(ops, op)
+			} else {
+				ops = append(ops, Op{Kind: OpMerge, T: randTerm(), U: randTerm()})
+			}
+		}
+		// Replica A applies ops in order; replica B applies a shuffled copy.
+		a, b := New(), New()
+		a.Apply(ops)
+		shuffled := append([]Op{}, ops...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b.Apply(shuffled)
+		_ = full
+		// Conflict status is order-independent (the final partition and the
+		// constant sets per class are), so it must agree.
+		if (a.Conflicted() == nil) != (b.Conflicted() == nil) {
+			return false
+		}
+		if a.Conflicted() != nil {
+			// Which constant a conflicted class retains is first-writer-wins
+			// and hence order-dependent; the run terminates there anyway.
+			return true
+		}
+		return a.Classes() == b.Classes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,471 @@
+// Package gen is the GFD generator of Section VII: it produces sets Σ of
+// GFDs Q[x̄](X → Y) controlled by (a) |Σ|, (b) the maximum number k of
+// pattern nodes, and (c) the maximum number l of literals in X and Y,
+// seeded with the node labels, frequent edges and active attributes of a
+// dataset profile.
+//
+// Satisfiability control. The generator maintains a hidden value function
+// W(label, attr) → constant. A "consistent" GFD only asserts literals that
+// agree with W (constant literals use W's value; variable literals relate
+// attribute pairs with equal W values), so the population assigning every
+// x.A := W(L(x), A) is a model of any set of consistent GFDs: generated
+// sets are satisfiable by construction. Injecting conflicts (GFDs that
+// contradict W on patterns guaranteed to match) makes sets unsatisfiable by
+// construction — both directions have ground truth without solving the
+// coNP-hard problem.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Config controls generation.
+type Config struct {
+	// N is |Σ|, the number of GFDs (paper: up to 10000).
+	N int
+	// K is the maximum number of pattern nodes (paper: up to 6; varied 2–10
+	// in Exp-3).
+	K int
+	// L is the maximum number of literals in X and in Y (paper: up to 5).
+	L int
+	// Profile seeds labels, edge labels and attributes; nil means DBpedia.
+	Profile *dataset.Profile
+	// Conflicts injects this many W-contradicting GFDs (0 = satisfiable by
+	// construction). The paper expands mined sets with up to 10 random GFDs
+	// to test satisfiability.
+	Conflicts int
+	// WildcardRate is the probability a pattern node is labeled '_'.
+	WildcardRate float64
+	// EmptyXRate is the probability a GFD has an empty antecedent.
+	EmptyXRate float64
+	Seed       int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 100
+	}
+	if c.K < 1 {
+		c.K = 4
+	}
+	if c.L < 1 {
+		c.L = 3
+	}
+	if c.Profile == nil {
+		c.Profile = dataset.DBpedia()
+	}
+	if c.WildcardRate == 0 {
+		c.WildcardRate = 0.1
+	}
+	if c.EmptyXRate == 0 {
+		c.EmptyXRate = 0.3
+	}
+	return c
+}
+
+// Generator produces GFDs and remembers the hidden value function W so
+// callers can also materialize consistent data graphs and implication
+// instances.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	// w is the hidden value function W(label, attr) → constant, extended
+	// lazily. Wildcard labels share one global row so consistency holds for
+	// every instantiation.
+	w map[[2]string]string
+	// frequentEdges is a small pool of (srcLabel, edgeLabel, dstLabel)
+	// triples reused across patterns, mimicking mined frequent edges: it
+	// makes patterns overlap, which is what makes reasoning interact.
+	frequentEdges [][3]string
+}
+
+// New constructs a Generator.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), w: make(map[[2]string]string)}
+	// Frequent-edge pool: a small schema of (srcLabel, edgeLabel, dstLabel)
+	// triples over the most frequent labels. Every generated pattern is a
+	// walk in this schema, so patterns of different GFDs share subpatterns
+	// and genuinely interact in the canonical graph — the property mined
+	// GFD sets have and the reasoning algorithms are stressed by.
+	pool := 12 + cfg.N/200
+	if pool > 48 {
+		pool = 48
+	}
+	edgeHead := len(cfg.Profile.EdgeLabels)
+	if edgeHead > 8 {
+		edgeHead = 8
+	}
+	for i := 0; i < pool; i++ {
+		src := g.headLabel()
+		dst := g.headLabel()
+		el := cfg.Profile.EdgeLabels[g.rng.Intn(edgeHead)]
+		g.frequentEdges = append(g.frequentEdges, [3]string{src, el, dst})
+	}
+	return g
+}
+
+// headLabel samples from the frequent (low-index) head of the label
+// universe so patterns share labels and interact.
+func (g *Generator) headLabel() string {
+	labels := g.cfg.Profile.NodeLabels
+	head := len(labels) / 25
+	if head < 4 {
+		head = 4
+	}
+	if head > len(labels) {
+		head = len(labels)
+	}
+	return labels[g.rng.Intn(head)]
+}
+
+// wOf returns W(label, attr), extending W lazily with a fresh constant.
+// The wildcard label is collapsed to a single row, so a wildcard node's
+// asserted values agree across all labels it may match.
+func (g *Generator) wOf(label, attr string) string {
+	key := [2]string{graph.Wildcard, attr}
+	if label != graph.Wildcard {
+		// Wildcard rows take precedence: once any wildcard literal uses
+		// attr, every label shares its value for attr. Conservative but
+		// guarantees consistency.
+		if v, ok := g.w[key]; ok {
+			return v
+		}
+		key = [2]string{label, attr}
+	}
+	if v, ok := g.w[key]; ok {
+		return v
+	}
+	v := fmt.Sprintf("w%d", len(g.w))
+	g.w[key] = v
+	return v
+}
+
+// wOfWildcardAware: when asserting on a wildcard variable, force the global
+// row and migrate nothing (existing per-label rows may disagree; avoid by
+// only using per-label rows for concrete labels that have not been asserted
+// via wildcard). To keep the invariant simple, wildcard literals always use
+// attributes from a reserved disjoint slice of the attribute universe.
+func (g *Generator) attrFor(label string) string {
+	attrs := g.cfg.Profile.Attrs
+	if len(attrs) < 2 {
+		return attrs[0]
+	}
+	half := len(attrs) / 2
+	if label == graph.Wildcard {
+		// Reserved wildcard attribute range.
+		return attrs[g.rng.Intn(half)]
+	}
+	return attrs[half+g.rng.Intn(len(attrs)-half)]
+}
+
+// Pattern generates a connected random pattern with between 2 and K nodes
+// (or 1 when K==1), grown as a walk in the frequent-edge schema: each new
+// variable extends an existing one along a schema triple whose source (or
+// destination) label matches, so labels and edge labels stay schema-
+// consistent and patterns embed into each other's canonical-graph copies.
+func (g *Generator) Pattern() *pattern.Pattern {
+	k := 1
+	if g.cfg.K > 1 {
+		k = 2 + g.rng.Intn(g.cfg.K-1)
+	}
+	p := pattern.New()
+	labels := make([]string, 0, k)
+	add := func(label string) pattern.Var {
+		v := p.AddVar(fmt.Sprintf("x%d", len(labels)), label)
+		labels = append(labels, label)
+		return v
+	}
+	seed := g.frequentEdges[g.rng.Intn(len(g.frequentEdges))]
+	if k == 1 {
+		add(seed[0])
+	} else {
+		x := add(seed[0])
+		y := add(seed[2])
+		p.AddEdge(x, y, seed[1])
+	}
+	for len(labels) < k {
+		// Extend a random existing variable along a matching schema triple.
+		vi := g.rng.Intn(len(labels))
+		fes := g.triplesAt(labels[vi])
+		if len(fes) == 0 {
+			// No schema triple touches this label (possible for wildcarded
+			// labels); extend from variable 0 instead.
+			vi = 0
+			fes = g.triplesAt(labels[0])
+			if len(fes) == 0 {
+				break
+			}
+		}
+		fe := fes[g.rng.Intn(len(fes))]
+		if fe[0] == labels[vi] {
+			w := add(fe[2])
+			p.AddEdge(pattern.Var(vi), w, fe[1])
+		} else {
+			w := add(fe[0])
+			p.AddEdge(w, pattern.Var(vi), fe[1])
+		}
+	}
+	// Occasionally close a cycle along a schema triple between existing
+	// variables, as real mined patterns have (e.g. Q1's locatedIn/partOf).
+	if len(labels) > 1 && g.rng.Intn(3) == 0 {
+		a := g.rng.Intn(len(labels))
+		b := g.rng.Intn(len(labels))
+		for _, fe := range g.triplesAt(labels[a]) {
+			if fe[0] == labels[a] && fe[2] == labels[b] {
+				p.AddEdge(pattern.Var(a), pattern.Var(b), fe[1])
+				break
+			}
+		}
+	}
+	// Wildcard relabeling happens only now: '_' still matches everything a
+	// concrete label would, so schema consistency is preserved. Relabeling
+	// in place is impossible on the immutable pattern, so wildcards are
+	// decided before AddVar via the rate — emulated here by rebuilding.
+	if g.cfg.WildcardRate > 0 {
+		rebuilt := pattern.New()
+		for i, l := range labels {
+			if g.rng.Float64() < g.cfg.WildcardRate {
+				l = graph.Wildcard
+			}
+			rebuilt.AddVar(fmt.Sprintf("x%d", i), l)
+		}
+		for _, e := range p.Edges() {
+			rebuilt.AddEdge(e.From, e.To, e.Label)
+		}
+		return rebuilt
+	}
+	return p
+}
+
+// triplesAt returns the schema triples whose source or destination label is
+// l.
+func (g *Generator) triplesAt(l string) [][3]string {
+	var out [][3]string
+	for _, fe := range g.frequentEdges {
+		if fe[0] == l || fe[2] == l {
+			out = append(out, fe)
+		}
+	}
+	return out
+}
+
+// consistentLiteral builds a literal that agrees with W over pattern p.
+func (g *Generator) consistentLiteral(p *pattern.Pattern) gfd.Literal {
+	x := pattern.Var(g.rng.Intn(p.NumVars()))
+	lx := p.Label(x)
+	a := g.attrFor(lx)
+	if g.rng.Float64() < 0.3 && p.NumVars() > 1 {
+		// Variable literal: find a (y, B) with W(ly,B) == W(lx,A). The
+		// cheapest guaranteed-equal pair is the same attribute on a
+		// same-label variable; otherwise force equality by defining W rows.
+		y := pattern.Var(g.rng.Intn(p.NumVars()))
+		ly := p.Label(y)
+		if ly == lx {
+			// Define the W row so consistent graphs materialize the
+			// attribute (x.A = y.A needs A to exist, not just be equal).
+			g.wOf(lx, a)
+			return gfd.Vars(x, a, y, a)
+		}
+		// Align W rows: pick an attribute b for y and define W(ly,b) to be
+		// W(lx,a) if unset; if both set and unequal, fall back to a constant
+		// literal.
+		b := g.attrFor(ly)
+		va := g.wOf(lx, a)
+		keyB := [2]string{ly, b}
+		if ly == graph.Wildcard {
+			keyB = [2]string{graph.Wildcard, b}
+		}
+		if vb, ok := g.w[keyB]; ok {
+			if vb == va {
+				return gfd.Vars(x, a, y, b)
+			}
+			return gfd.Const(x, a, va)
+		}
+		g.w[keyB] = va
+		return gfd.Vars(x, a, y, b)
+	}
+	return gfd.Const(x, a, g.wOf(lx, a))
+}
+
+// GFD generates one W-consistent GFD.
+func (g *Generator) GFD(name string) *gfd.GFD { return g.gfd(name, false) }
+
+func (g *Generator) gfd(name string, forceEmptyX bool) *gfd.GFD {
+	p := g.Pattern()
+	var xs, ys []gfd.Literal
+	if !forceEmptyX && g.rng.Float64() >= g.cfg.EmptyXRate {
+		nx := 1 + g.rng.Intn(g.cfg.L)
+		for i := 0; i < nx; i++ {
+			xs = append(xs, g.consistentLiteral(p))
+		}
+	}
+	ny := 1 + g.rng.Intn(g.cfg.L)
+	for i := 0; i < ny; i++ {
+		ys = append(ys, g.consistentLiteral(p))
+	}
+	return gfd.MustNew(name, p, xs, ys)
+}
+
+// anchorGFD builds a single-node, empty-antecedent, W-consistent GFD that
+// injected conflicts negate: its pattern always matches in G_Σ (its own
+// copy), so the contradiction is guaranteed to fire.
+func (g *Generator) anchorGFD(name string) *gfd.GFD {
+	p := pattern.New()
+	p.AddVar("x", g.headLabel())
+	a := g.attrFor(p.Label(0))
+	return gfd.MustNew(name, p, nil, []gfd.Literal{gfd.Const(0, a, g.wOf(p.Label(0), a))})
+}
+
+// conflictGFD negates the anchor's constant literal on the same label.
+func (g *Generator) conflictGFD(name string, anchor *gfd.GFD) *gfd.GFD {
+	l := anchor.Y[0]
+	p := pattern.New()
+	p.AddVar("x", anchor.Pattern.Label(l.X))
+	return gfd.MustNew(name, p, nil, []gfd.Literal{gfd.Const(0, l.A, l.Const+"'")})
+}
+
+// Set generates Σ per the configuration. With Conflicts == 0 the result is
+// satisfiable by construction (the W population is a model); otherwise it is
+// unsatisfiable by construction: an empty-antecedent anchor GFD is included
+// and each injected conflict negates its constant on the same label.
+func (g *Generator) Set() *gfd.Set {
+	set := gfd.NewSet()
+	n := g.cfg.N
+	if g.cfg.Conflicts > 0 && n > 0 {
+		n-- // the anchor takes one slot so |Σ| stays as configured
+	}
+	for i := 0; i < n; i++ {
+		set.Add(g.GFD(fmt.Sprintf("gfd%d", i)))
+	}
+	if g.cfg.Conflicts > 0 {
+		anchor := g.anchorGFD("anchor")
+		set.Add(anchor)
+		for i := 0; i < g.cfg.Conflicts; i++ {
+			set.Add(g.conflictGFD(fmt.Sprintf("conflict%d", i), anchor))
+		}
+	}
+	return set
+}
+
+// ImpliedGFD derives from Σ a GFD that Σ provably implies: it strengthens
+// the antecedent and weakens the consequent of a member (Armstrong-style:
+// Q[x̄](X → Y) implies Q[x̄](X∪Z → Y') for Y' ⊆ Y).
+func (g *Generator) ImpliedGFD(set *gfd.Set) *gfd.GFD {
+	base := set.GFDs[g.rng.Intn(set.Len())]
+	xs := append([]gfd.Literal{}, base.X...)
+	// Strengthen X with a consistent literal (on the same pattern).
+	xs = append(xs, g.consistentLiteral(base.Pattern))
+	ys := []gfd.Literal{base.Y[g.rng.Intn(len(base.Y))]}
+	return gfd.MustNew(base.Name+"-implied", base.Pattern, xs, ys)
+}
+
+// ImpInstance builds an implication instance (Σ', φ) whose decision
+// requires propagating a dependency chain of the given length: Σ' is a
+// regular consistent set plus chainLen single-node GFDs
+// ψ_i: x.a_i = W → x.a_{i+1} = W on a shared frequent label, listed in
+// reverse order; φ's antecedent seeds the chain head and its consequent
+// asks for a constant W never uses on the chain tail's attribute. The
+// instance is not implied, but answering requires running the whole chain
+// to the fixpoint — an ordered pass fires it once, while an unordered
+// chase needs ~chainLen rounds (the structural gap behind the paper's
+// SeqImp-vs-ParImpRDF comparison). Mined real-life rule sets have this
+// interaction depth naturally.
+func (g *Generator) ImpInstance(chainLen int) (*gfd.Set, *gfd.GFD) {
+	if chainLen < 1 {
+		chainLen = 4
+	}
+	attrs := g.cfg.Profile.Attrs
+	half := len(attrs) / 2
+	if chainLen+1 > len(attrs)-half {
+		chainLen = len(attrs) - half - 1
+	}
+	label := g.headLabel()
+	chainAttrs := attrs[half : half+chainLen+1]
+
+	n := g.cfg.N - chainLen
+	if n < 0 {
+		n = 0
+	}
+	set := gfd.NewSet()
+	for i := 0; i < n; i++ {
+		set.Add(g.GFD(fmt.Sprintf("gfd%d", i)))
+	}
+	// Chain links, appended in reverse so list order is maximally unhelpful.
+	for i := chainLen - 1; i >= 0; i-- {
+		p := pattern.New()
+		p.AddVar("x", label)
+		set.Add(gfd.MustNew(fmt.Sprintf("chain%d", i), p,
+			[]gfd.Literal{gfd.Const(0, chainAttrs[i], g.wOf(label, chainAttrs[i]))},
+			[]gfd.Literal{gfd.Const(0, chainAttrs[i+1], g.wOf(label, chainAttrs[i+1]))}))
+	}
+	// φ seeds the chain head; its consequent is never deducible. Its
+	// pattern is a full generated pattern (the canonical graph G^X_Q the
+	// enforcement runs on) extended with a chain-labeled variable carrying
+	// the seed, so the implication check does pattern-matching work
+	// proportional to k like the satisfiability side.
+	qp := g.Pattern()
+	seedVar := qp.AddVar("seed", label)
+	if qp.NumVars() > 1 {
+		fe := g.triplesAt(label)
+		if len(fe) > 0 && fe[0][0] == label {
+			qp.AddEdge(seedVar, 0, fe[0][1])
+		} else if len(fe) > 0 {
+			qp.AddEdge(0, seedVar, fe[0][1])
+		}
+	}
+	phi := gfd.MustNew("target", qp,
+		[]gfd.Literal{gfd.Const(seedVar, chainAttrs[0], g.wOf(label, chainAttrs[0]))},
+		[]gfd.Literal{gfd.Const(seedVar, chainAttrs[chainLen], "never")})
+	return set, phi
+}
+
+// NonImpliedGFD builds a GFD almost surely not implied by a consistent Σ: a
+// fresh pattern whose consequent asserts a constant W never uses.
+func (g *Generator) NonImpliedGFD() *gfd.GFD {
+	p := g.Pattern()
+	x := pattern.Var(g.rng.Intn(p.NumVars()))
+	a := g.attrFor(p.Label(x))
+	return gfd.MustNew("non-implied", p, nil, []gfd.Literal{gfd.Const(x, a, "never")})
+}
+
+// ConsistentGraph materializes a data graph where every node's attributes
+// follow W — a model-like graph for the mined-GFD scenario.
+func (g *Generator) ConsistentGraph(nodes int) *graph.Graph {
+	gr := graph.New()
+	labels := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		labels[i] = g.headLabel()
+		id := gr.AddNode(labels[i])
+		for _, a := range g.cfg.Profile.Attrs {
+			// Only materialize attributes W knows for this label (or via
+			// the wildcard row).
+			if v, ok := g.w[[2]string{labels[i], a}]; ok {
+				gr.SetAttr(id, a, v)
+			} else if v, ok := g.w[[2]string{graph.Wildcard, a}]; ok {
+				gr.SetAttr(id, a, v)
+			}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		for _, fe := range g.frequentEdges {
+			if fe[0] != labels[i] {
+				continue
+			}
+			// Link to some node with the destination label, if any.
+			for j := 0; j < nodes; j++ {
+				if labels[j] == fe[2] {
+					gr.AddEdge(graph.NodeID(i), graph.NodeID(j), fe[1])
+					break
+				}
+			}
+		}
+	}
+	return gr
+}

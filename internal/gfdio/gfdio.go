@@ -1,0 +1,288 @@
+// Package gfdio reads and writes the line-oriented text formats used by the
+// command-line tools for graphs and GFD sets.
+//
+// Graph format (one statement per line, '#' comments):
+//
+//	node <id> <label> [attr=value ...]
+//	edge <fromID> <toID> <label>
+//
+// Node IDs must be dense integers starting at 0, in order.
+//
+// GFD format:
+//
+//	gfd <name>
+//	var <varname> <label>           # label may be _
+//	edge <var> <var> <label>
+//	when <var>.<attr> = "<const>"   # or: when <var>.<attr> = <var>.<attr>
+//	then <var>.<attr> = "<const>"   # or variable form, or: then false
+//	end
+//
+// A file may contain any number of gfd blocks.
+package gfdio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// ReadGraph parses the graph format.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("line %d: node needs id and label", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad node id %q", lineNo, fields[1])
+			}
+			if id != g.NumNodes() {
+				return nil, fmt.Errorf("line %d: node ids must be dense and ordered; got %d, want %d", lineNo, id, g.NumNodes())
+			}
+			nid := g.AddNode(fields[2])
+			for _, kv := range fields[3:] {
+				eq := strings.IndexByte(kv, '=')
+				if eq <= 0 {
+					return nil, fmt.Errorf("line %d: bad attribute %q", lineNo, kv)
+				}
+				g.SetAttr(nid, kv[:eq], kv[eq+1:])
+			}
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: edge needs from, to, label", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad edge endpoints", lineNo)
+			}
+			if from < 0 || from >= g.NumNodes() || to < 0 || to >= g.NumNodes() {
+				return nil, fmt.Errorf("line %d: edge endpoint out of range", lineNo)
+			}
+			g.AddEdge(graph.NodeID(from), graph.NodeID(to), fields[3])
+		default:
+			return nil, fmt.Errorf("line %d: unknown statement %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteGraph emits the graph format.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		fmt.Fprintf(bw, "node %d %s", i, g.Label(id))
+		attrs := g.Attrs(id)
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, " %s=%s", k, attrs[k])
+		}
+		bw.WriteByte('\n')
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.Out(graph.NodeID(i)) {
+			fmt.Fprintf(bw, "edge %d %d %s\n", e.From, e.To, e.Label)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGFDs parses a file of gfd blocks.
+func ReadGFDs(r io.Reader) (*gfd.Set, error) {
+	set := gfd.NewSet()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+
+	var (
+		name    string
+		pat     *pattern.Pattern
+		xs, ys  []gfd.Literal
+		isFalse bool
+		inBlock bool
+	)
+	reset := func() {
+		name, pat, xs, ys, isFalse, inBlock = "", nil, nil, nil, false, false
+	}
+	reset()
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "gfd":
+			if inBlock {
+				return nil, fmt.Errorf("line %d: nested gfd block", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: gfd needs a name", lineNo)
+			}
+			name = fields[1]
+			pat = pattern.New()
+			inBlock = true
+		case "var":
+			if !inBlock || len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: bad var statement", lineNo)
+			}
+			pat.AddVar(fields[1], fields[2])
+		case "edge":
+			if !inBlock || len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: bad edge statement", lineNo)
+			}
+			from := pat.VarByName(fields[1])
+			to := pat.VarByName(fields[2])
+			if from == pattern.InvalidVar || to == pattern.InvalidVar {
+				return nil, fmt.Errorf("line %d: edge references undeclared variable", lineNo)
+			}
+			pat.AddEdge(from, to, fields[3])
+		case "when", "then":
+			if !inBlock {
+				return nil, fmt.Errorf("line %d: %s outside gfd block", lineNo, fields[0])
+			}
+			rest := strings.TrimSpace(line[len(fields[0]):])
+			if fields[0] == "then" && rest == "false" {
+				isFalse = true
+				continue
+			}
+			lit, err := parseLiteral(pat, rest)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if fields[0] == "when" {
+				xs = append(xs, lit)
+			} else {
+				ys = append(ys, lit)
+			}
+		case "end":
+			if !inBlock {
+				return nil, fmt.Errorf("line %d: end outside gfd block", lineNo)
+			}
+			var (
+				phi *gfd.GFD
+				err error
+			)
+			if isFalse {
+				phi, err = gfd.NewFalse(name, pat, xs)
+			} else {
+				phi, err = gfd.New(name, pat, xs, ys)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			set.Add(phi)
+			reset()
+		default:
+			return nil, fmt.Errorf("line %d: unknown statement %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inBlock {
+		return nil, fmt.Errorf("unterminated gfd block %q", name)
+	}
+	return set, nil
+}
+
+// parseLiteral parses `x.A = "c"` or `x.A = y.B`.
+func parseLiteral(pat *pattern.Pattern, s string) (gfd.Literal, error) {
+	eq := strings.Index(s, "=")
+	if eq < 0 {
+		return gfd.Literal{}, fmt.Errorf("literal missing '=': %q", s)
+	}
+	lhs := strings.TrimSpace(s[:eq])
+	rhs := strings.TrimSpace(s[eq+1:])
+	x, a, err := parseTerm(pat, lhs)
+	if err != nil {
+		return gfd.Literal{}, err
+	}
+	if strings.HasPrefix(rhs, "\"") {
+		c, err := strconv.Unquote(rhs)
+		if err != nil {
+			return gfd.Literal{}, fmt.Errorf("bad constant %q: %v", rhs, err)
+		}
+		return gfd.Const(x, a, c), nil
+	}
+	y, b, err := parseTerm(pat, rhs)
+	if err != nil {
+		return gfd.Literal{}, err
+	}
+	return gfd.Vars(x, a, y, b), nil
+}
+
+func parseTerm(pat *pattern.Pattern, s string) (pattern.Var, string, error) {
+	dot := strings.LastIndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 {
+		return 0, "", fmt.Errorf("bad attribute term %q (want var.attr)", s)
+	}
+	v := pat.VarByName(s[:dot])
+	if v == pattern.InvalidVar {
+		return 0, "", fmt.Errorf("undeclared variable %q", s[:dot])
+	}
+	return v, s[dot+1:], nil
+}
+
+// WriteGFDs emits a set in the gfd block format.
+func WriteGFDs(w io.Writer, set *gfd.Set) error {
+	bw := bufio.NewWriter(w)
+	for _, phi := range set.GFDs {
+		fmt.Fprintf(bw, "gfd %s\n", phi.Name)
+		p := phi.Pattern
+		for i := 0; i < p.NumVars(); i++ {
+			fmt.Fprintf(bw, "var %s %s\n", p.Name(pattern.Var(i)), p.Label(pattern.Var(i)))
+		}
+		for _, e := range p.Edges() {
+			fmt.Fprintf(bw, "edge %s %s %s\n", p.Name(e.From), p.Name(e.To), e.Label)
+		}
+		for _, l := range phi.X {
+			fmt.Fprintf(bw, "when %s\n", literalText(p, l))
+		}
+		if phi.IsFalsehood() {
+			fmt.Fprintf(bw, "then false\n")
+		} else {
+			for _, l := range phi.Y {
+				fmt.Fprintf(bw, "then %s\n", literalText(p, l))
+			}
+		}
+		fmt.Fprintf(bw, "end\n")
+	}
+	return bw.Flush()
+}
+
+func literalText(p *pattern.Pattern, l gfd.Literal) string {
+	if l.Kind == gfd.ConstLiteral {
+		return fmt.Sprintf("%s.%s = %s", p.Name(l.X), l.A, strconv.Quote(l.Const))
+	}
+	return fmt.Sprintf("%s.%s = %s.%s", p.Name(l.X), l.A, p.Name(l.Y), l.B)
+}

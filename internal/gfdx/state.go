@@ -1,0 +1,586 @@
+package gfdx
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/eq"
+	"repro/internal/match"
+)
+
+// bound is one side of a numeric interval.
+type bound struct {
+	set    bool
+	v      float64
+	strict bool // true: open (< or >), false: closed (≤ or ≥)
+}
+
+// class is the constraint state of one equivalence class of attribute
+// terms: the generalization of eq's "one constant per class".
+type class struct {
+	members []eq.Term
+	pin     string // exact value, "" = unset (use pinned to test)
+	pinned  bool
+	numeric bool    // pin parses as a number
+	pinNum  float64 // numeric pin value
+	lo, hi  bound
+	excl    map[string]bool
+	// order/neq edges are kept in the state, keyed by roots.
+}
+
+type xState int
+
+const (
+	xHolds xState = iota
+	xBlocked
+	xImpossible
+)
+
+// state is the extended constraint store.
+type state struct {
+	parent  map[eq.Term]eq.Term
+	classes map[eq.Term]*class
+	// lt[a][b] true: a < b (strict); le[a][b]: a ≤ b. Keys are roots but are
+	// re-canonicalized lazily after merges.
+	lt, le map[eq.Term]map[eq.Term]bool
+	neq    map[eq.Term]map[eq.Term]bool
+	reason string
+	stats  Stats
+}
+
+func newState() *state {
+	return &state{
+		parent:  make(map[eq.Term]eq.Term),
+		classes: make(map[eq.Term]*class),
+		lt:      make(map[eq.Term]map[eq.Term]bool),
+		le:      make(map[eq.Term]map[eq.Term]bool),
+		neq:     make(map[eq.Term]map[eq.Term]bool),
+	}
+}
+
+func (s *state) find(t eq.Term) eq.Term {
+	p, ok := s.parent[t]
+	if !ok {
+		s.parent[t] = t
+		s.classes[t] = &class{members: []eq.Term{t}, excl: map[string]bool{}}
+		return t
+	}
+	if p == t {
+		return t
+	}
+	root := s.find(p)
+	s.parent[t] = root
+	return root
+}
+
+func (s *state) classOf(t eq.Term) *class { return s.classes[s.find(t)] }
+
+func (s *state) fail(format string, args ...any) bool {
+	if s.reason == "" {
+		s.reason = fmt.Sprintf(format, args...)
+	}
+	return false
+}
+
+// tightenLo/tightenHi intersect the interval; they report false on an empty
+// interval.
+func (c *class) tightenLo(v float64, strict bool) (changed, ok bool) {
+	if !c.lo.set || v > c.lo.v || (v == c.lo.v && strict && !c.lo.strict) {
+		c.lo = bound{set: true, v: v, strict: strict}
+		changed = true
+	}
+	return changed, c.consistent()
+}
+
+func (c *class) tightenHi(v float64, strict bool) (changed, ok bool) {
+	if !c.hi.set || v < c.hi.v || (v == c.hi.v && strict && !c.hi.strict) {
+		c.hi = bound{set: true, v: v, strict: strict}
+		changed = true
+	}
+	return changed, c.consistent()
+}
+
+// consistent checks interval emptiness and pin/interval/exclusion clashes.
+func (c *class) consistent() bool {
+	if c.lo.set && c.hi.set {
+		if c.lo.v > c.hi.v {
+			return false
+		}
+		if c.lo.v == c.hi.v && (c.lo.strict || c.hi.strict) {
+			return false
+		}
+		// A point interval whose only value is excluded is empty.
+		if c.lo.v == c.hi.v && c.excl[formatNum(c.lo.v)] {
+			return false
+		}
+	}
+	if c.pinned {
+		if c.excl[c.pin] {
+			return false
+		}
+		if c.numeric {
+			if c.lo.set && (c.pinNum < c.lo.v || (c.pinNum == c.lo.v && c.lo.strict)) {
+				return false
+			}
+			if c.hi.set && (c.pinNum > c.hi.v || (c.pinNum == c.hi.v && c.hi.strict)) {
+				return false
+			}
+		} else if c.lo.set || c.hi.set {
+			// Ordered constraints on a class pinned to a non-number.
+			return false
+		}
+	}
+	return true
+}
+
+func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// pinTo pins the class to an exact value.
+func (c *class) pinTo(val string) (changed, ok bool) {
+	if c.pinned {
+		return false, c.pin == val
+	}
+	c.pinned = true
+	c.pin = val
+	if n, err := strconv.ParseFloat(val, 64); err == nil {
+		c.numeric = true
+		c.pinNum = n
+	}
+	return true, c.consistent()
+}
+
+// assert applies a consequent literal at a match; it returns the terms
+// whose class state changed and ok=false on conflict.
+func (s *state) assert(t eq.Term, l Literal, h match.Assignment) ([]eq.Term, bool) {
+	if l.IsVar {
+		u := eq.Term{Node: h[l.Y], Attr: l.B}
+		return s.assertVar(t, l.Pred, u)
+	}
+	c := s.classOf(t)
+	var changed, ok bool
+	switch l.Pred {
+	case EQ:
+		changed, ok = c.pinTo(l.Const)
+		if ok && c.numeric {
+			ch2, ok2 := c.tightenLo(c.pinNum, false)
+			ch3, ok3 := c.tightenHi(c.pinNum, false)
+			changed, ok = changed || ch2 || ch3, ok2 && ok3
+		}
+	case NE:
+		if !c.excl[l.Const] {
+			c.excl[l.Const] = true
+			changed = true
+		}
+		ok = !c.pinned || c.pin != l.Const
+		if ok {
+			ok = c.consistent()
+		}
+	default:
+		v, _ := strconv.ParseFloat(l.Const, 64)
+		switch l.Pred {
+		case LT:
+			changed, ok = c.tightenHi(v, true)
+		case LE:
+			changed, ok = c.tightenHi(v, false)
+		case GT:
+			changed, ok = c.tightenLo(v, true)
+		case GE:
+			changed, ok = c.tightenLo(v, false)
+		}
+	}
+	if !ok {
+		return c.members, s.fail("class %v inconsistent after %s %s", t, l.Pred, l.Const)
+	}
+	if changed {
+		return c.members, true
+	}
+	return nil, true
+}
+
+func (s *state) assertVar(t eq.Term, p Pred, u eq.Term) ([]eq.Term, bool) {
+	rt, ru := s.find(t), s.find(u)
+	switch p {
+	case EQ:
+		return s.merge(rt, ru)
+	case NE:
+		if rt == ru {
+			return nil, s.fail("x≠y asserted on merged class %v", t)
+		}
+		addEdge(s.neq, rt, ru)
+		addEdge(s.neq, ru, rt)
+		ct, cu := s.classes[rt], s.classes[ru]
+		if ct.pinned && cu.pinned && ct.pin == cu.pin {
+			return ct.members, s.fail("≠ between classes pinned to %q", ct.pin)
+		}
+		return nil, true
+	case LT:
+		if rt == ru {
+			return nil, s.fail("x<x asserted at %v", t)
+		}
+		addEdge(s.lt, rt, ru)
+		return s.propagate()
+	case LE:
+		addEdge(s.le, rt, ru)
+		return s.propagate()
+	case GT:
+		if rt == ru {
+			return nil, s.fail("x>x asserted at %v", t)
+		}
+		addEdge(s.lt, ru, rt)
+		return s.propagate()
+	case GE:
+		addEdge(s.le, ru, rt)
+		return s.propagate()
+	}
+	return nil, true
+}
+
+func addEdge(m map[eq.Term]map[eq.Term]bool, a, b eq.Term) {
+	if m[a] == nil {
+		m[a] = make(map[eq.Term]bool)
+	}
+	m[a][b] = true
+}
+
+// merge joins two classes: members concatenate, pins must agree, intervals
+// intersect, exclusions union, edges re-point to the survivor.
+func (s *state) merge(a, b eq.Term) ([]eq.Term, bool) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return nil, true
+	}
+	if s.neq[ra][rb] {
+		return s.classes[ra].members, s.fail("merge of classes recorded ≠: %v, %v", ra, rb)
+	}
+	ca, cb := s.classes[ra], s.classes[rb]
+	changed := append(append([]eq.Term{}, ca.members...), cb.members...)
+	// Fold b into a.
+	s.parent[rb] = ra
+	ca.members = append(ca.members, cb.members...)
+	if cb.pinned {
+		if _, ok := ca.pinTo(cb.pin); !ok {
+			return changed, s.fail("merge pins clash: %q vs %q", ca.pin, cb.pin)
+		}
+	}
+	if cb.lo.set {
+		if _, ok := ca.tightenLo(cb.lo.v, cb.lo.strict); !ok {
+			return changed, s.fail("merge empties interval at %v", ra)
+		}
+	}
+	if cb.hi.set {
+		if _, ok := ca.tightenHi(cb.hi.v, cb.hi.strict); !ok {
+			return changed, s.fail("merge empties interval at %v", ra)
+		}
+	}
+	for v := range cb.excl {
+		ca.excl[v] = true
+	}
+	if !ca.consistent() {
+		return changed, s.fail("merged class inconsistent at %v", ra)
+	}
+	delete(s.classes, rb)
+	// Re-point edges.
+	for _, m := range []map[eq.Term]map[eq.Term]bool{s.lt, s.le, s.neq} {
+		if es := m[rb]; es != nil {
+			for to := range es {
+				addEdge(m, ra, to)
+			}
+			delete(m, rb)
+		}
+		for from, es := range m {
+			if es[rb] {
+				delete(es, rb)
+				es[ra] = true
+			}
+			_ = from
+		}
+	}
+	if s.lt[ra][ra] {
+		return changed, s.fail("strict order cycle at %v after merge", ra)
+	}
+	delete(s.le[ra], ra)
+	if s.neq[ra][ra] {
+		return changed, s.fail("≠ self-loop at %v after merge", ra)
+	}
+	return changed, true
+}
+
+// propagate runs bound propagation along order edges and order-cycle
+// analysis to a fixpoint. It returns changed terms and ok=false on
+// conflict. Bounds only ever move to values derived from input constants,
+// so the fixpoint is reached in finitely many rounds.
+func (s *state) propagate() ([]eq.Term, bool) {
+	var changed []eq.Term
+	for round := 0; ; round++ {
+		if round > len(s.parent)+8 {
+			break // safety net; monotone bounds should have converged
+		}
+		any := false
+		apply := func(from, to eq.Term, strict bool) bool {
+			cf, ct := s.classes[s.find(from)], s.classes[s.find(to)]
+			if cf == nil || ct == nil {
+				return true
+			}
+			s.stats.Propagations++
+			// from < to (or ≤): to's lower bound inherits from's; from's
+			// upper bound inherits to's.
+			if cf.lo.set {
+				ch, ok := ct.tightenLo(cf.lo.v, cf.lo.strict || strict)
+				if ch {
+					any = true
+					changed = append(changed, ct.members...)
+				}
+				if !ok {
+					return s.fail("propagation empties interval (lo) into %v", s.find(to))
+				}
+			}
+			if ct.hi.set {
+				ch, ok := cf.tightenHi(ct.hi.v, ct.hi.strict || strict)
+				if ch {
+					any = true
+					changed = append(changed, cf.members...)
+				}
+				if !ok {
+					return s.fail("propagation empties interval (hi) into %v", s.find(from))
+				}
+			}
+			// Strict edge between point-equal classes is a conflict.
+			if strict && cf.pinned && ct.pinned && cf.numeric && ct.numeric && cf.pinNum >= ct.pinNum {
+				return s.fail("strict order violated by pins %v ≥ %v", cf.pinNum, ct.pinNum)
+			}
+			return true
+		}
+		for from, es := range s.lt {
+			for to := range es {
+				if s.find(from) == s.find(to) {
+					return changed, s.fail("strict order cycle at %v", s.find(from))
+				}
+				if !apply(from, to, true) {
+					return changed, false
+				}
+			}
+		}
+		for from, es := range s.le {
+			for to := range es {
+				if !apply(from, to, false) {
+					return changed, false
+				}
+			}
+		}
+		// Non-strict cycles (a ≤ b and b ≤ a) merge the classes.
+		for from, es := range s.le {
+			for to := range es {
+				rf, rt := s.find(from), s.find(to)
+				if rf != rt && s.le[rt] != nil && reaches(s, rt, rf) {
+					ch, ok := s.merge(rf, rt)
+					changed = append(changed, ch...)
+					if !ok {
+						return changed, false
+					}
+					any = true
+				}
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	return changed, true
+}
+
+// reaches reports whether b reaches a through ≤ edges (one-step suffices
+// for the common a≤b≤a pattern; longer non-strict cycles collapse over
+// successive propagate calls).
+func reaches(s *state, from, to eq.Term) bool {
+	for t := range s.le[from] {
+		if s.find(t) == to {
+			return true
+		}
+	}
+	return false
+}
+
+// checkX classifies an extended antecedent at a match: xHolds iff every
+// literal is entailed by the current state (it then holds in every
+// population consistent with the necessary enforcements), xImpossible iff
+// some literal contradicts the state permanently, else xBlocked.
+func (s *state) checkX(g *GFD, h match.Assignment) xState {
+	res := xHolds
+	for _, l := range g.X {
+		t := eq.Term{Node: h[l.X], Attr: l.A}
+		var st xState
+		if l.IsVar {
+			st = s.checkVarLiteral(t, l.Pred, eq.Term{Node: h[l.Y], Attr: l.B})
+		} else {
+			st = s.checkConstLiteral(t, l.Pred, l.Const)
+		}
+		if st == xImpossible {
+			return xImpossible
+		}
+		if st == xBlocked {
+			res = xBlocked
+		}
+	}
+	return res
+}
+
+func (s *state) checkConstLiteral(t eq.Term, p Pred, cst string) xState {
+	c := s.classOf(t)
+	num, isNum := 0.0, false
+	if n, err := strconv.ParseFloat(cst, 64); err == nil {
+		num, isNum = n, true
+	}
+	switch p {
+	case EQ:
+		if c.pinned {
+			if c.pin == cst {
+				return xHolds
+			}
+			return xImpossible
+		}
+		if c.excl[cst] {
+			return xImpossible
+		}
+		if isNum && !valueFits(c, num) {
+			return xImpossible
+		}
+		return xBlocked
+	case NE:
+		if c.pinned {
+			if c.pin != cst {
+				return xHolds
+			}
+			return xImpossible
+		}
+		if c.excl[cst] {
+			return xHolds
+		}
+		if isNum && !valueFits(c, num) {
+			return xHolds // the class can never take this value
+		}
+		return xBlocked
+	case LT, LE, GT, GE:
+		if !isNum {
+			return xBlocked
+		}
+		lo, hi := effectiveBounds(c)
+		switch p {
+		case LT:
+			if hi.set && (hi.v < num || (hi.v == num && true)) && (hi.v < num || hi.strict) {
+				return xHolds
+			}
+			if lo.set && lo.v >= num {
+				return xImpossible
+			}
+		case LE:
+			if hi.set && hi.v <= num {
+				return xHolds
+			}
+			if lo.set && (lo.v > num || (lo.v == num && lo.strict)) {
+				return xImpossible
+			}
+		case GT:
+			if lo.set && (lo.v > num || (lo.v == num && lo.strict)) {
+				return xHolds
+			}
+			if hi.set && hi.v <= num {
+				return xImpossible
+			}
+		case GE:
+			if lo.set && lo.v >= num {
+				return xHolds
+			}
+			if hi.set && (hi.v < num || (hi.v == num && hi.strict)) {
+				return xImpossible
+			}
+		}
+		return xBlocked
+	}
+	return xBlocked
+}
+
+func valueFits(c *class, v float64) bool {
+	if c.lo.set && (v < c.lo.v || (v == c.lo.v && c.lo.strict)) {
+		return false
+	}
+	if c.hi.set && (v > c.hi.v || (v == c.hi.v && c.hi.strict)) {
+		return false
+	}
+	return true
+}
+
+// effectiveBounds folds a numeric pin into the interval view.
+func effectiveBounds(c *class) (bound, bound) {
+	lo, hi := c.lo, c.hi
+	if c.pinned && c.numeric {
+		lo = bound{set: true, v: c.pinNum}
+		hi = bound{set: true, v: c.pinNum}
+	}
+	return lo, hi
+}
+
+func (s *state) checkVarLiteral(t eq.Term, p Pred, u eq.Term) xState {
+	rt, ru := s.find(t), s.find(u)
+	ct, cu := s.classes[rt], s.classes[ru]
+	switch p {
+	case EQ:
+		if rt == ru {
+			return xHolds
+		}
+		if ct.pinned && cu.pinned {
+			if ct.pin == cu.pin {
+				return xHolds
+			}
+			return xImpossible
+		}
+		if s.neq[rt][ru] {
+			return xImpossible
+		}
+		return xBlocked
+	case NE:
+		if rt == ru {
+			return xImpossible
+		}
+		if s.neq[rt][ru] {
+			return xHolds
+		}
+		if ct.pinned && cu.pinned {
+			if ct.pin != cu.pin {
+				return xHolds
+			}
+			return xImpossible
+		}
+		return xBlocked
+	case LT, LE, GT, GE:
+		// Normalize to t ⊙ u with ⊙ ∈ {<, ≤}.
+		a, b, strict := rt, ru, p == LT
+		if p == GT || p == GE {
+			a, b, strict = ru, rt, p == GT
+		}
+		ca, cb := s.classes[a], s.classes[b]
+		loA, hiA := effectiveBounds(ca)
+		loB, hiB := effectiveBounds(cb)
+		if a == b {
+			if strict {
+				return xImpossible
+			}
+			return xHolds
+		}
+		// Entailed: every value of a is below every value of b.
+		if hiA.set && loB.set {
+			if hiA.v < loB.v || (hiA.v == loB.v && (hiA.strict || loB.strict || !strict)) {
+				if hiA.v < loB.v || hiA.strict || loB.strict || !strict {
+					return xHolds
+				}
+			}
+		}
+		// Impossible: every value of a is at or above every value of b.
+		if loA.set && hiB.set {
+			if loA.v > hiB.v || (loA.v == hiB.v && (strict || loA.strict || hiB.strict)) {
+				return xImpossible
+			}
+		}
+		return xBlocked
+	}
+	return xBlocked
+}

@@ -1,0 +1,365 @@
+// Package graph implements directed labeled property graphs as defined in
+// Section II of "Parallel Reasoning of Graph Functional Dependencies"
+// (Fan, Liu, Cao; ICDE 2018).
+//
+// A graph G = (V, E, L, F_A) has a finite node set V, directed labeled edges
+// E ⊆ V×V, a label L(v) ∈ Γ per node and L(e) per edge, and for each node a
+// finite tuple F_A(v) of attribute/constant pairs carrying content, as in
+// property graphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense indexes assigned in
+// insertion order, which makes them usable as slice offsets throughout the
+// reasoning code.
+type NodeID int
+
+// InvalidNode is returned by lookups that find no node.
+const InvalidNode NodeID = -1
+
+// Wildcard is the reserved label '_' that, in patterns, matches any label.
+// In data graphs (including canonical graphs) it behaves as an ordinary
+// label: only a wildcard pattern node can match a wildcard data node.
+const Wildcard = "_"
+
+// Edge is a directed labeled edge between two nodes.
+type Edge struct {
+	From  NodeID
+	To    NodeID
+	Label string
+}
+
+// Node is a labeled node with an attribute tuple. Attrs maps attribute names
+// to constant values; absence of a key means the node does not carry that
+// attribute (graphs are schemaless).
+type Node struct {
+	ID    NodeID
+	Label string
+	Attrs map[string]string
+}
+
+// Graph is a mutable directed labeled property graph. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	nodes []Node
+	out   [][]Edge // adjacency by source
+	in    [][]Edge // adjacency by target
+	// byLabel indexes node IDs by label for selectivity estimation and
+	// candidate enumeration during matching.
+	byLabel map[string][]NodeID
+	edges   int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byLabel: make(map[string][]NodeID)}
+}
+
+// AddNode inserts a node with the given label and returns its ID.
+func (g *Graph) AddNode(label string) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Label: label})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byLabel[label] = append(g.byLabel[label], id)
+	return id
+}
+
+// AddNodeWithAttrs inserts a node carrying the given attribute tuple.
+// The map is copied.
+func (g *Graph) AddNodeWithAttrs(label string, attrs map[string]string) NodeID {
+	id := g.AddNode(label)
+	for k, v := range attrs {
+		g.SetAttr(id, k, v)
+	}
+	return id
+}
+
+// AddEdge inserts a directed labeled edge. Multi-edges with distinct labels
+// are allowed; inserting the exact same (from,to,label) twice is idempotent.
+func (g *Graph) AddEdge(from, to NodeID, label string) {
+	if !g.valid(from) || !g.valid(to) {
+		panic(fmt.Sprintf("graph: AddEdge with invalid endpoint %d->%d", from, to))
+	}
+	for _, e := range g.out[from] {
+		if e.To == to && e.Label == label {
+			return
+		}
+	}
+	e := Edge{From: from, To: to, Label: label}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	g.edges++
+}
+
+// SetAttr sets attribute A of node v to constant value c.
+func (g *Graph) SetAttr(v NodeID, attr, value string) {
+	if !g.valid(v) {
+		panic(fmt.Sprintf("graph: SetAttr on invalid node %d", v))
+	}
+	n := &g.nodes[v]
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string)
+	}
+	n.Attrs[attr] = value
+}
+
+// Attr reports the value of attribute A at node v and whether it exists.
+func (g *Graph) Attr(v NodeID, attr string) (string, bool) {
+	if !g.valid(v) {
+		return "", false
+	}
+	val, ok := g.nodes[v].Attrs[attr]
+	return val, ok
+}
+
+// Attrs returns the attribute tuple of v (nil if none). The returned map is
+// the graph's own storage; callers must not mutate it.
+func (g *Graph) Attrs(v NodeID) map[string]string {
+	if !g.valid(v) {
+		return nil
+	}
+	return g.nodes[v].Attrs
+}
+
+// Label returns the label of node v.
+func (g *Graph) Label(v NodeID) string {
+	return g.nodes[v].Label
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Out returns the outgoing edges of v. Callers must not mutate the slice.
+func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+
+// In returns the incoming edges of v. Callers must not mutate the slice.
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// HasEdge reports whether edge (from,to) with the given label exists.
+// A Wildcard label argument matches any edge label.
+func (g *Graph) HasEdge(from, to NodeID, label string) bool {
+	if !g.valid(from) || !g.valid(to) {
+		return false
+	}
+	for _, e := range g.out[from] {
+		if e.To == to && (label == Wildcard || e.Label == label) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesByLabel returns the IDs of nodes carrying exactly the given label.
+// It does not apply wildcard semantics; see CandidateNodes.
+func (g *Graph) NodesByLabel(label string) []NodeID { return g.byLabel[label] }
+
+// CandidateNodes returns the nodes a pattern node with the given label may
+// match: all nodes for the wildcard, else the nodes with that exact label.
+func (g *Graph) CandidateNodes(label string) []NodeID {
+	if label == Wildcard {
+		all := make([]NodeID, len(g.nodes))
+		for i := range g.nodes {
+			all[i] = NodeID(i)
+		}
+		return all
+	}
+	return g.byLabel[label]
+}
+
+// LabelFrequency returns the number of nodes carrying the label, with
+// wildcard counting every node. Used for pivot selectivity.
+func (g *Graph) LabelFrequency(label string) int {
+	if label == Wildcard {
+		return len(g.nodes)
+	}
+	return len(g.byLabel[label])
+}
+
+// Labels returns the distinct node labels in deterministic order.
+func (g *Graph) Labels() []string {
+	ls := make([]string, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// Size returns |G| counting nodes, edges, attributes and their values, the
+// measure used by the Σ-bounded small model property.
+func (g *Graph) Size() int {
+	s := len(g.nodes) + g.edges
+	for i := range g.nodes {
+		s += len(g.nodes[i].Attrs)
+	}
+	return s
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		id := c.AddNode(n.Label)
+		for k, v := range n.Attrs {
+			c.SetAttr(id, k, v)
+		}
+	}
+	for v := range g.out {
+		for _, e := range g.out[v] {
+			c.AddEdge(e.From, e.To, e.Label)
+		}
+	}
+	return c
+}
+
+// Neighborhood returns the set of nodes within d hops of v, treating edges
+// as undirected (the d_Q-neighborhood of Section V-B). The result includes v
+// itself. Membership is returned as a map for O(1) containment tests.
+func (g *Graph) Neighborhood(v NodeID, d int) map[NodeID]bool {
+	seen := map[NodeID]bool{v: true}
+	frontier := []NodeID{v}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, e := range g.out[u] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if !seen[e.From] {
+					seen[e.From] = true
+					next = append(next, e.From)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// UndirectedDistance returns the number of hops between u and v ignoring
+// edge direction, or -1 if disconnected. Used when building the work-unit
+// dependency graph ("pivots within d_Q1 hops").
+func (g *Graph) UndirectedDistance(u, v NodeID) int {
+	if u == v {
+		return 0
+	}
+	dist := map[NodeID]int{u: 0}
+	frontier := []NodeID{u}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, w := range frontier {
+			dw := dist[w]
+			for _, e := range g.out[w] {
+				if _, ok := dist[e.To]; !ok {
+					if e.To == v {
+						return dw + 1
+					}
+					dist[e.To] = dw + 1
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[w] {
+				if _, ok := dist[e.From]; !ok {
+					if e.From == v {
+						return dw + 1
+					}
+					dist[e.From] = dw + 1
+					next = append(next, e.From)
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// Subgraph returns the induced subgraph on the given node set, together with
+// the mapping from old IDs to new IDs.
+func (g *Graph) Subgraph(keep map[NodeID]bool) (*Graph, map[NodeID]NodeID) {
+	sub := New()
+	remap := make(map[NodeID]NodeID, len(keep))
+	// Deterministic order: ascending old ID.
+	ids := make([]NodeID, 0, len(keep))
+	for id := range keep {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		nid := sub.AddNode(g.nodes[id].Label)
+		for k, v := range g.nodes[id].Attrs {
+			sub.SetAttr(nid, k, v)
+		}
+		remap[id] = nid
+	}
+	for _, id := range ids {
+		for _, e := range g.out[id] {
+			if keep[e.To] {
+				sub.AddEdge(remap[e.From], remap[e.To], e.Label)
+			}
+		}
+	}
+	return sub, remap
+}
+
+// DisjointUnion appends a copy of other into g and returns the offset that
+// maps other's node IDs into g (new ID = old ID + offset). It is the building
+// block of canonical graphs G_Σ.
+func (g *Graph) DisjointUnion(other *Graph) NodeID {
+	offset := NodeID(len(g.nodes))
+	for i := range other.nodes {
+		n := &other.nodes[i]
+		id := g.AddNode(n.Label)
+		for k, v := range n.Attrs {
+			g.SetAttr(id, k, v)
+		}
+		_ = id
+	}
+	for v := range other.out {
+		for _, e := range other.out[v] {
+			g.AddEdge(e.From+offset, e.To+offset, e.Label)
+		}
+	}
+	return offset
+}
+
+// String renders the graph in a compact human-readable form, one node and
+// one edge per line, in deterministic order.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		fmt.Fprintf(&b, "node %d %s", n.ID, n.Label)
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for v := range g.out {
+		for _, e := range g.out[v] {
+			fmt.Fprintf(&b, "edge %d %d %s\n", e.From, e.To, e.Label)
+		}
+	}
+	return b.String()
+}
+
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g := New()
+	a := g.AddNode("person")
+	b := g.AddNode("blog")
+	c := g.AddNode("blog")
+	d := g.AddNode("topic")
+	g.AddEdge(a, b, "post")
+	g.AddEdge(a, c, "post")
+	g.AddEdge(b, d, "about")
+	g.AddEdge(c, d, "about")
+	return g, []NodeID{a, b, c, d}
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		if got := g.AddNode("x"); got != NodeID(i) {
+			t.Fatalf("AddNode #%d = %d, want %d", i, got, i)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("x"), g.AddNode("y")
+	g.AddEdge(a, b, "e")
+	g.AddEdge(a, b, "e")
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edge inserted: NumEdges = %d", g.NumEdges())
+	}
+	g.AddEdge(a, b, "f") // distinct label: a real multi-edge
+	if g.NumEdges() != 2 {
+		t.Fatalf("multi-edge with distinct label rejected: NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestHasEdgeWildcard(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("x"), g.AddNode("y")
+	g.AddEdge(a, b, "knows")
+	if !g.HasEdge(a, b, "knows") {
+		t.Error("HasEdge exact label = false")
+	}
+	if !g.HasEdge(a, b, Wildcard) {
+		t.Error("HasEdge wildcard = false")
+	}
+	if g.HasEdge(a, b, "other") {
+		t.Error("HasEdge wrong label = true")
+	}
+	if g.HasEdge(b, a, "knows") {
+		t.Error("HasEdge is ignoring direction")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	g := New()
+	a := g.AddNode("person")
+	if _, ok := g.Attr(a, "name"); ok {
+		t.Error("attribute exists before SetAttr")
+	}
+	g.SetAttr(a, "name", "alice")
+	if v, ok := g.Attr(a, "name"); !ok || v != "alice" {
+		t.Errorf("Attr = %q,%v; want alice,true", v, ok)
+	}
+	g.SetAttr(a, "name", "bob") // overwrite
+	if v, _ := g.Attr(a, "name"); v != "bob" {
+		t.Errorf("overwrite failed: %q", v)
+	}
+}
+
+func TestCandidateNodes(t *testing.T) {
+	g, _ := buildDiamond(t)
+	if got := len(g.CandidateNodes("blog")); got != 2 {
+		t.Errorf("blog candidates = %d, want 2", got)
+	}
+	if got := len(g.CandidateNodes(Wildcard)); got != 4 {
+		t.Errorf("wildcard candidates = %d, want 4", got)
+	}
+	if got := len(g.CandidateNodes("missing")); got != 0 {
+		t.Errorf("missing label candidates = %d, want 0", got)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g, ids := buildDiamond(t)
+	a, d := ids[0], ids[3]
+	h0 := g.Neighborhood(a, 0)
+	if len(h0) != 1 || !h0[a] {
+		t.Errorf("0-hop neighborhood = %v", h0)
+	}
+	h1 := g.Neighborhood(a, 1)
+	if len(h1) != 3 {
+		t.Errorf("1-hop neighborhood size = %d, want 3 (a,b,c)", len(h1))
+	}
+	if h1[d] {
+		t.Error("topic is 2 hops away but in 1-hop neighborhood")
+	}
+	h2 := g.Neighborhood(a, 2)
+	if len(h2) != 4 {
+		t.Errorf("2-hop neighborhood size = %d, want 4", len(h2))
+	}
+	// Neighborhood is undirected: from d, 1 hop reaches b and c.
+	hd := g.Neighborhood(d, 1)
+	if len(hd) != 3 {
+		t.Errorf("reverse 1-hop neighborhood size = %d, want 3", len(hd))
+	}
+}
+
+func TestUndirectedDistance(t *testing.T) {
+	g, ids := buildDiamond(t)
+	a, b, d := ids[0], ids[1], ids[3]
+	cases := []struct {
+		u, v NodeID
+		want int
+	}{
+		{a, a, 0}, {a, b, 1}, {a, d, 2}, {d, a, 2}, {b, ids[2], 2},
+	}
+	for _, c := range cases {
+		if got := g.UndirectedDistance(c.u, c.v); got != c.want {
+			t.Errorf("dist(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+	iso := g.AddNode("island")
+	if got := g.UndirectedDistance(a, iso); got != -1 {
+		t.Errorf("dist to disconnected node = %d, want -1", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g, ids := buildDiamond(t)
+	g.SetAttr(ids[1], "title", "t1")
+	sub, remap := g.Subgraph(map[NodeID]bool{ids[0]: true, ids[1]: true, ids[3]: true})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d, want 3", sub.NumNodes())
+	}
+	// Edge a->b survives, b->d survives; a->c and c->d dropped.
+	if sub.NumEdges() != 2 {
+		t.Fatalf("subgraph edges = %d, want 2", sub.NumEdges())
+	}
+	if v, ok := sub.Attr(remap[ids[1]], "title"); !ok || v != "t1" {
+		t.Error("attributes not carried into subgraph")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g1, _ := buildDiamond(t)
+	g2 := New()
+	x := g2.AddNode("extra")
+	g2.SetAttr(x, "k", "v")
+	g2.AddEdge(x, x, "self")
+	off := g1.DisjointUnion(g2)
+	if off != 4 {
+		t.Fatalf("offset = %d, want 4", off)
+	}
+	if g1.NumNodes() != 5 || g1.NumEdges() != 5 {
+		t.Fatalf("union has %d nodes %d edges; want 5,5", g1.NumNodes(), g1.NumEdges())
+	}
+	if !g1.HasEdge(off+x, off+x, "self") {
+		t.Error("self-loop not remapped")
+	}
+	if v, _ := g1.Attr(off+x, "k"); v != "v" {
+		t.Error("attrs not copied by union")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, ids := buildDiamond(t)
+	g.SetAttr(ids[0], "name", "alice")
+	c := g.Clone()
+	c.SetAttr(ids[0], "name", "eve")
+	c.AddNode("new")
+	if v, _ := g.Attr(ids[0], "name"); v != "alice" {
+		t.Error("clone mutation leaked into original attrs")
+	}
+	if g.NumNodes() != 4 {
+		t.Error("clone mutation leaked into original nodes")
+	}
+}
+
+func TestSizeCountsAttrs(t *testing.T) {
+	g, ids := buildDiamond(t)
+	base := g.Size()
+	g.SetAttr(ids[0], "a", "1")
+	g.SetAttr(ids[0], "b", "2")
+	if g.Size() != base+2 {
+		t.Errorf("Size after 2 attrs = %d, want %d", g.Size(), base+2)
+	}
+}
+
+// Property: Neighborhood(v, d) of a random graph always contains v, grows
+// monotonically with d, and every member is within distance d.
+func TestNeighborhoodPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			g.AddNode("x")
+		}
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), "e")
+		}
+		v := NodeID(rng.Intn(n))
+		prev := 0
+		for d := 0; d <= 4; d++ {
+			h := g.Neighborhood(v, d)
+			if !h[v] {
+				return false
+			}
+			if len(h) < prev {
+				return false
+			}
+			prev = len(h)
+			for u := range h {
+				dist := g.UndirectedDistance(v, u)
+				if dist < 0 || dist > d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

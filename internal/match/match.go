@@ -1,0 +1,440 @@
+// Package match implements homomorphism-based graph pattern matching
+// (Section IV-C of the paper): VF2-style backtracking search, except
+// enforcing homomorphism rather than isomorphism (two pattern variables may
+// map to the same data node, and data nodes may be reused across matches).
+//
+// The search is exposed as a resumable iterator so the parallel algorithms
+// can (a) pipeline match generation with attribute checking and (b) split a
+// straggling work unit into sub-units carved from untried branches of the
+// search tree (Section V-B, "unit splitting").
+package match
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Assignment maps pattern variables (by index) to data nodes; InvalidNode
+// marks unassigned variables. A full match assigns every variable.
+type Assignment []graph.NodeID
+
+// NewAssignment returns an all-unassigned assignment for n variables.
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = graph.InvalidNode
+	}
+	return a
+}
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment { return append(Assignment{}, a...) }
+
+// Complete reports whether every variable is assigned.
+func (a Assignment) Complete() bool {
+	for _, v := range a {
+		if v == graph.InvalidNode {
+			return false
+		}
+	}
+	return true
+}
+
+// Search is a resumable backtracking enumeration of the homomorphisms of a
+// pattern into a graph, following a fixed variable order. The zero value is
+// not usable; construct with NewSearch.
+type Search struct {
+	p     *pattern.Pattern
+	g     *graph.Graph
+	order []pattern.Var
+	// restrict, when non-nil for a variable, limits its candidates to the
+	// given node set (the d_Q-neighborhood of the unit's pivot).
+	restrict map[pattern.Var]map[graph.NodeID]bool
+	filter   func(pattern.Var, graph.NodeID) bool
+
+	assign Assignment
+	seeded []bool // variables fixed by the seed (never backtracked)
+	stack  []frame
+	done   bool
+}
+
+type frame struct {
+	v     pattern.Var
+	cands []graph.NodeID
+	idx   int // next candidate to try
+}
+
+// Options configures a Search.
+type Options struct {
+	// Order is the variable order; defaults to the concatenation of
+	// pattern.MatchOrder over all components.
+	Order []pattern.Var
+	// Seed pre-assigns variables (e.g. the pivot, or a partial match from a
+	// split unit). Seeded variables must form a prefix of Order.
+	Seed Assignment
+	// Restrict limits candidates per variable.
+	Restrict map[pattern.Var]map[graph.NodeID]bool
+	// Filter, when non-nil, limits candidates further (e.g. to a simulation
+	// relation) without allocating per-search sets.
+	Filter func(pattern.Var, graph.NodeID) bool
+}
+
+// DefaultOrder returns a connectivity-respecting order over all components.
+func DefaultOrder(p *pattern.Pattern) []pattern.Var {
+	var order []pattern.Var
+	for _, comp := range p.Components() {
+		order = append(order, p.MatchOrder(comp[0])...)
+	}
+	return order
+}
+
+// PivotedOrder returns an order that starts each component at its pivot.
+// pivots must contain one variable per component, in component order.
+func PivotedOrder(p *pattern.Pattern, pivots []pattern.Var) []pattern.Var {
+	var order []pattern.Var
+	for _, pv := range pivots {
+		order = append(order, p.MatchOrder(pv)...)
+	}
+	return order
+}
+
+// NewSearch builds a search. Seeded variables are validated against labels
+// and seeded-edge consistency lazily (the first Next call rejects a bad
+// seed by returning no matches for that branch).
+func NewSearch(p *pattern.Pattern, g *graph.Graph, opts Options) *Search {
+	order := opts.Order
+	if order == nil {
+		order = DefaultOrder(p)
+	}
+	s := &Search{
+		p:        p,
+		g:        g,
+		order:    order,
+		restrict: opts.Restrict,
+		filter:   opts.Filter,
+		assign:   NewAssignment(p.NumVars()),
+		seeded:   make([]bool, p.NumVars()),
+	}
+	if opts.Seed != nil {
+		for v, n := range opts.Seed {
+			if n != graph.InvalidNode {
+				s.assign[v] = n
+				s.seeded[v] = true
+			}
+		}
+	}
+	// Validate the seed immediately: labels and edges among seeded vars.
+	for v := range s.seeded {
+		if !s.seeded[v] {
+			continue
+		}
+		if !s.consistent(pattern.Var(v), s.assign[v]) {
+			s.done = true
+			break
+		}
+	}
+	return s
+}
+
+// depthOf returns the search depth of the first non-seeded variable.
+func (s *Search) firstOpenDepth() int {
+	for i, v := range s.order {
+		if !s.seeded[v] {
+			return i
+		}
+	}
+	return len(s.order)
+}
+
+// Next returns the next full match, or ok=false when the enumeration is
+// exhausted. The returned assignment is a copy owned by the caller.
+func (s *Search) Next() (Assignment, bool) {
+	if s.done {
+		return nil, false
+	}
+	if s.stack == nil {
+		// First call: if everything is seeded, the seed itself is the only
+		// match (already validated in NewSearch).
+		if s.firstOpenDepth() == len(s.order) {
+			s.done = true
+			if s.assign.Complete() {
+				return s.assign.Clone(), true
+			}
+			return nil, false
+		}
+		s.push()
+	} else {
+		// Resume: retract the deepest frame's current assignment and
+		// advance.
+		s.retractTop()
+	}
+	for len(s.stack) > 0 {
+		top := &s.stack[len(s.stack)-1]
+		if top.idx >= len(top.cands) {
+			s.pop()
+			if len(s.stack) == 0 {
+				break
+			}
+			s.retractTop()
+			continue
+		}
+		cand := top.cands[top.idx]
+		top.idx++
+		if !s.consistent(top.v, cand) {
+			continue
+		}
+		s.assign[top.v] = cand
+		if len(s.stack) == s.depthLimit() {
+			return s.assign.Clone(), true
+		}
+		s.push()
+	}
+	s.done = true
+	return nil, false
+}
+
+// depthLimit is the number of open (non-seeded) variables.
+func (s *Search) depthLimit() int {
+	n := 0
+	for _, v := range s.order {
+		if !s.seeded[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// push opens a frame for the next unassigned variable in order.
+func (s *Search) push() {
+	var v pattern.Var = pattern.InvalidVar
+	for _, u := range s.order {
+		if s.assign[u] == graph.InvalidNode {
+			v = u
+			break
+		}
+	}
+	if v == pattern.InvalidVar {
+		panic("match: push with complete assignment")
+	}
+	s.stack = append(s.stack, frame{v: v, cands: s.candidates(v)})
+}
+
+func (s *Search) retractTop() {
+	top := &s.stack[len(s.stack)-1]
+	s.assign[top.v] = graph.InvalidNode
+}
+
+func (s *Search) pop() {
+	s.stack = s.stack[:len(s.stack)-1]
+}
+
+// candidates computes the candidate nodes for v given the current partial
+// assignment: generated from an assigned pattern-neighbor's adjacency when
+// one exists (cheap), else from the label index; filtered by restriction.
+func (s *Search) candidates(v pattern.Var) []graph.NodeID {
+	label := s.p.Label(v)
+	var base []graph.NodeID
+	// Prefer generating from an assigned neighbor to keep candidate sets
+	// small; edge-label and direction constraints are applied here, and
+	// consistent() re-checks all edges anyway.
+	gen := false
+	for _, e := range s.p.In(v) {
+		if u := s.assign[e.From]; u != graph.InvalidNode {
+			for _, ge := range s.g.Out(u) {
+				if (e.Label == graph.Wildcard || ge.Label == e.Label) && pattern.LabelMatches(label, s.g.Label(ge.To)) {
+					base = append(base, ge.To)
+				}
+			}
+			gen = true
+			break
+		}
+	}
+	if !gen {
+		for _, e := range s.p.Out(v) {
+			if u := s.assign[e.To]; u != graph.InvalidNode {
+				for _, ge := range s.g.In(u) {
+					if (e.Label == graph.Wildcard || ge.Label == e.Label) && pattern.LabelMatches(label, s.g.Label(ge.From)) {
+						base = append(base, ge.From)
+					}
+				}
+				gen = true
+				break
+			}
+		}
+	}
+	if !gen {
+		// Copy: CandidateNodes may return the graph's internal label index,
+		// and the filter below compacts base in place.
+		base = append([]graph.NodeID(nil), s.g.CandidateNodes(label)...)
+	}
+	if s.filter != nil {
+		kept := base[:0]
+		for _, n := range base {
+			if s.filter(v, n) {
+				kept = append(kept, n)
+			}
+		}
+		base = kept
+	}
+	if s.restrict == nil || s.restrict[v] == nil {
+		return dedup(base)
+	}
+	allowed := s.restrict[v]
+	var out []graph.NodeID
+	for _, n := range base {
+		if allowed[n] {
+			out = append(out, n)
+		}
+	}
+	return dedup(out)
+}
+
+func dedup(ids []graph.NodeID) []graph.NodeID {
+	if len(ids) <= 1 {
+		return ids
+	}
+	seen := make(map[graph.NodeID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// consistent checks that mapping v→n preserves v's label and every pattern
+// edge between v and an already-assigned variable (including self-loops and
+// edges to seeded variables).
+func (s *Search) consistent(v pattern.Var, n graph.NodeID) bool {
+	if !pattern.LabelMatches(s.p.Label(v), s.g.Label(n)) {
+		return false
+	}
+	for _, e := range s.p.Out(v) {
+		to := e.To
+		var target graph.NodeID
+		if to == v {
+			target = n
+		} else {
+			target = s.assign[to]
+			if target == graph.InvalidNode {
+				continue
+			}
+		}
+		if !s.g.HasEdge(n, target, e.Label) {
+			return false
+		}
+	}
+	for _, e := range s.p.In(v) {
+		from := e.From
+		if from == v {
+			continue // self-loop handled above
+		}
+		src := s.assign[from]
+		if src == graph.InvalidNode {
+			continue
+		}
+		if !s.g.HasEdge(src, n, e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// Split carves untried branches off the shallowest open frame that still
+// has at least two candidates remaining, returning them as seed assignments
+// (the frames' prefix assignments plus one remaining candidate each). The
+// branches are removed from this search, which continues with its current
+// branch only. It returns nil when there is nothing to split.
+//
+// This implements the paper's straggler handling: a unit exceeding its TTL
+// ships Split() seeds to the coordinator as new work units and finishes only
+// its current subtree.
+func (s *Search) Split() []Assignment {
+	if s.done {
+		return nil
+	}
+	for d := 0; d < len(s.stack); d++ {
+		f := &s.stack[d]
+		remaining := len(f.cands) - f.idx
+		// Keep at least the current in-flight candidate; split the rest.
+		if remaining < 1 {
+			continue
+		}
+		// Prefix assignment: seeded vars plus frames above d (their current
+		// choices), excluding frame d's untried candidates.
+		prefix := NewAssignment(len(s.assign))
+		for v := range s.seeded {
+			if s.seeded[v] {
+				prefix[v] = s.assign[v]
+			}
+		}
+		for i := 0; i < d; i++ {
+			fr := s.stack[i]
+			prefix[fr.v] = s.assign[fr.v]
+		}
+		var seeds []Assignment
+		for i := f.idx; i < len(f.cands); i++ {
+			seed := prefix.Clone()
+			seed[f.v] = f.cands[i]
+			seeds = append(seeds, seed)
+		}
+		f.cands = f.cands[:f.idx]
+		if len(seeds) > 0 {
+			return seeds
+		}
+	}
+	return nil
+}
+
+// CountAll exhausts the search and returns the number of matches. Intended
+// for tests.
+func (s *Search) CountAll() int {
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// FindAll enumerates every homomorphism of p into g. Intended for small
+// patterns (tests, sequential reasoning on canonical graphs).
+func FindAll(p *pattern.Pattern, g *graph.Graph) []Assignment {
+	s := NewSearch(p, g, Options{})
+	var out []Assignment
+	for {
+		h, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, h)
+	}
+}
+
+// PivotRestriction builds the candidate restriction for a unit pivoted at
+// node z matching variable pv: every variable of pv's component is confined
+// to the d_Q-neighborhood of z, where d_Q is the pattern radius at pv. Other
+// components are unrestricted.
+func PivotRestriction(p *pattern.Pattern, g *graph.Graph, pv pattern.Var, z graph.NodeID) map[pattern.Var]map[graph.NodeID]bool {
+	hood := g.Neighborhood(z, p.Radius(pv))
+	restrict := make(map[pattern.Var]map[graph.NodeID]bool)
+	for _, comp := range p.Components() {
+		has := false
+		for _, v := range comp {
+			if v == pv {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		for _, v := range comp {
+			restrict[v] = hood
+		}
+	}
+	return restrict
+}

@@ -1,0 +1,118 @@
+package match
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Sim is a graph-simulation relation of a pattern into a graph: for each
+// pattern variable, the set of data nodes that can simulate it. It is
+// stored as dense bitsets so computing and probing it stays off the map
+// hashing path (the reasoning algorithms compute one per GFD per run).
+type Sim struct {
+	p    *pattern.Pattern
+	n    int
+	bits [][]bool // per var, indexed by node id
+	cnt  []int
+}
+
+// Has reports whether node n can simulate variable v.
+func (s *Sim) Has(v pattern.Var, n graph.NodeID) bool {
+	return s.bits[v][n]
+}
+
+// Count returns |sim(v)|.
+func (s *Sim) Count(v pattern.Var) int { return s.cnt[v] }
+
+// Nodes returns sim(v) in ascending node order.
+func (s *Sim) Nodes(v pattern.Var) []graph.NodeID {
+	out := make([]graph.NodeID, 0, s.cnt[v])
+	for n, ok := range s.bits[v] {
+		if ok {
+			out = append(out, graph.NodeID(n))
+		}
+	}
+	return out
+}
+
+// Simulate computes the graph simulation relation of pattern p into graph g
+// (Henzinger–Henzinger–Kopke style refinement): sim(u) is the set of data
+// nodes with a matching label whose out/in edges can cover u's pattern
+// edges. It returns nil if some variable simulates no node.
+//
+// Simulation is a necessary condition for homomorphism: if Simulate returns
+// nil there is no match of p in g, and any homomorphism maps u into sim(u).
+// The parallel algorithms use it as a cheap O(|Q|·|G|) pre-filter before
+// backtracking search (Section V-B, multi-query optimization).
+func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
+	p.Freeze()
+	nv := p.NumVars()
+	s := &Sim{p: p, n: g.NumNodes(), bits: make([][]bool, nv), cnt: make([]int, nv)}
+	for v := 0; v < nv; v++ {
+		bits := make([]bool, s.n)
+		cnt := 0
+		for _, n := range g.CandidateNodes(p.Label(pattern.Var(v))) {
+			if !bits[n] {
+				bits[n] = true
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return nil
+		}
+		s.bits[v] = bits
+		s.cnt[v] = cnt
+	}
+	// Refine to a fixpoint: drop n from sim(u) if some pattern edge at u
+	// cannot be realized within the current sim sets.
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < nv; v++ {
+			u := pattern.Var(v)
+			bits := s.bits[u]
+			for n := range bits {
+				if !bits[n] {
+					continue
+				}
+				if !edgesRealizable(p, g, s, u, graph.NodeID(n)) {
+					bits[n] = false
+					s.cnt[u]--
+					changed = true
+				}
+			}
+			if s.cnt[u] == 0 {
+				return nil
+			}
+		}
+	}
+	return s
+}
+
+func edgesRealizable(p *pattern.Pattern, g *graph.Graph, s *Sim, u pattern.Var, n graph.NodeID) bool {
+	for _, e := range p.Out(u) {
+		ok := false
+		for _, ge := range g.Out(n) {
+			if (e.Label == graph.Wildcard || ge.Label == e.Label) && s.bits[e.To][ge.To] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, e := range p.In(u) {
+		ok := false
+		for _, ge := range g.In(n) {
+			if (e.Label == graph.Wildcard || ge.Label == e.Label) && s.bits[e.From][ge.From] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

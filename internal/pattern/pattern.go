@@ -1,0 +1,318 @@
+// Package pattern implements graph patterns Q[x̄] (Section II of the paper):
+// small labeled graphs whose nodes are variables, with wildcard labels '_'
+// permitted on nodes and edges. Patterns are matched into data graphs by
+// homomorphism (label-preserving, with wildcard matching anything).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Var identifies a pattern variable (a node of Q). Vars are dense indexes in
+// declaration order, so they double as slice offsets in match vectors h(x̄).
+type Var int
+
+// InvalidVar is returned by lookups that find no variable.
+const InvalidVar Var = -1
+
+// Edge is a directed labeled pattern edge between two variables.
+type Edge struct {
+	From  Var
+	To    Var
+	Label string // may be graph.Wildcard
+}
+
+// Pattern is a graph pattern Q[x̄]. Construct with New; patterns are
+// immutable after Freeze (called implicitly by the functions that need
+// derived data).
+type Pattern struct {
+	names  []string // variable names, e.g. "x", "y"
+	labels []string // node labels, graph.Wildcard allowed
+	edges  []Edge
+	byName map[string]Var
+
+	frozen     bool
+	out        [][]Edge
+	in         [][]Edge
+	components [][]Var // connected components (undirected), each sorted
+	radius     []int   // eccentricity of each var within its component
+}
+
+// New returns an empty pattern.
+func New() *Pattern {
+	return &Pattern{byName: make(map[string]Var)}
+}
+
+// AddVar declares a pattern variable with the given name and node label and
+// returns it. Names must be unique within the pattern.
+func (p *Pattern) AddVar(name, label string) Var {
+	if p.frozen {
+		panic("pattern: AddVar after freeze")
+	}
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("pattern: duplicate variable %q", name))
+	}
+	v := Var(len(p.names))
+	p.names = append(p.names, name)
+	p.labels = append(p.labels, label)
+	p.byName[name] = v
+	return v
+}
+
+// AddEdge adds a directed pattern edge.
+func (p *Pattern) AddEdge(from, to Var, label string) {
+	if p.frozen {
+		panic("pattern: AddEdge after freeze")
+	}
+	p.edges = append(p.edges, Edge{From: from, To: to, Label: label})
+}
+
+// VarByName returns the variable with the given name, or InvalidVar.
+func (p *Pattern) VarByName(name string) Var {
+	if v, ok := p.byName[name]; ok {
+		return v
+	}
+	return InvalidVar
+}
+
+// Name returns the declared name of v.
+func (p *Pattern) Name(v Var) string { return p.names[v] }
+
+// Label returns the node label of v (possibly wildcard).
+func (p *Pattern) Label(v Var) string { return p.labels[v] }
+
+// NumVars returns |x̄|.
+func (p *Pattern) NumVars() int { return len(p.names) }
+
+// Edges returns the pattern edges. Callers must not mutate the slice.
+func (p *Pattern) Edges() []Edge { return p.edges }
+
+// Size returns |Q| = #vars + #edges.
+func (p *Pattern) Size() int { return len(p.names) + len(p.edges) }
+
+// Freeze computes the derived adjacency, component and radius data. It is
+// idempotent and called implicitly by accessors that need it.
+func (p *Pattern) Freeze() {
+	if p.frozen {
+		return
+	}
+	n := len(p.names)
+	p.out = make([][]Edge, n)
+	p.in = make([][]Edge, n)
+	for _, e := range p.edges {
+		p.out[e.From] = append(p.out[e.From], e)
+		p.in[e.To] = append(p.in[e.To], e)
+	}
+	p.computeComponents()
+	p.computeRadii()
+	p.frozen = true
+}
+
+// Out returns edges leaving v.
+func (p *Pattern) Out(v Var) []Edge { p.Freeze(); return p.out[v] }
+
+// In returns edges entering v.
+func (p *Pattern) In(v Var) []Edge { p.Freeze(); return p.in[v] }
+
+// Components returns the connected components of Q (edges taken as
+// undirected), each a sorted list of variables. A pattern with no variables
+// has no components.
+func (p *Pattern) Components() [][]Var { p.Freeze(); return p.components }
+
+// Connected reports whether Q is non-empty and has a single connected
+// component.
+func (p *Pattern) Connected() bool { p.Freeze(); return len(p.components) == 1 }
+
+// Radius returns the eccentricity of v within its connected component: the
+// longest undirected shortest-path distance from v to any variable of the
+// component. This is d_Q at v (Section V-B); the d_Q-neighborhood of a data
+// node matching v contains every possible match pivoted there.
+func (p *Pattern) Radius(v Var) int { p.Freeze(); return p.radius[v] }
+
+// LabelMatches reports whether a pattern label matches a data label under
+// wildcard semantics: '_' in the pattern matches anything; otherwise the
+// labels must be equal. (A '_' data label is matched only by '_'.)
+func LabelMatches(patternLabel, dataLabel string) bool {
+	return patternLabel == graph.Wildcard || patternLabel == dataLabel
+}
+
+// Pivot selects a pivot variable for each connected component of Q,
+// preferring selective labels (fewest candidate nodes in g, wildcard = all).
+// Ties break toward higher degree, then lower variable index, keeping the
+// choice deterministic.
+func (p *Pattern) Pivot(g *graph.Graph) []Var {
+	p.Freeze()
+	pivots := make([]Var, 0, len(p.components))
+	for _, comp := range p.components {
+		best := comp[0]
+		bestFreq := g.LabelFrequency(p.labels[best])
+		bestDeg := len(p.out[best]) + len(p.in[best])
+		for _, v := range comp[1:] {
+			f := g.LabelFrequency(p.labels[v])
+			d := len(p.out[v]) + len(p.in[v])
+			if f < bestFreq || (f == bestFreq && d > bestDeg) {
+				best, bestFreq, bestDeg = v, f, d
+			}
+		}
+		pivots = append(pivots, best)
+	}
+	return pivots
+}
+
+// AsGraph materializes the pattern as a data graph whose node labels are the
+// pattern labels (wildcards kept as the literal '_' label) and whose node
+// IDs equal the variable indexes. This is the building block of canonical
+// graphs (Sections IV-B, VI-A).
+func (p *Pattern) AsGraph() *graph.Graph {
+	g := graph.New()
+	for _, l := range p.labels {
+		g.AddNode(l)
+	}
+	for _, e := range p.edges {
+		g.AddEdge(graph.NodeID(e.From), graph.NodeID(e.To), e.Label)
+	}
+	return g
+}
+
+// MatchOrder returns a connectivity-respecting variable ordering for
+// backtracking search within a component, starting at start: each subsequent
+// variable is adjacent to an earlier one when possible (so candidate sets
+// stay constrained). Variables outside start's component are excluded.
+func (p *Pattern) MatchOrder(start Var) []Var {
+	p.Freeze()
+	comp := p.componentOf(start)
+	inComp := make(map[Var]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	order := []Var{start}
+	placed := map[Var]bool{start: true}
+	for len(order) < len(comp) {
+		// Pick the unplaced in-component variable with the most placed
+		// neighbors (most constrained), ties toward lower index.
+		best, bestScore := InvalidVar, -1
+		for _, v := range comp {
+			if placed[v] {
+				continue
+			}
+			score := 0
+			for _, e := range p.out[v] {
+				if placed[e.To] {
+					score++
+				}
+			}
+			for _, e := range p.in[v] {
+				if placed[e.From] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		order = append(order, best)
+		placed[best] = true
+	}
+	return order
+}
+
+func (p *Pattern) componentOf(v Var) []Var {
+	for _, comp := range p.components {
+		for _, u := range comp {
+			if u == v {
+				return comp
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Pattern) computeComponents() {
+	n := len(p.names)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range p.edges {
+		union(int(e.From), int(e.To))
+	}
+	groups := make(map[int][]Var)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], Var(i))
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	p.components = p.components[:0]
+	for _, r := range roots {
+		comp := groups[r]
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		p.components = append(p.components, comp)
+	}
+}
+
+func (p *Pattern) computeRadii() {
+	n := len(p.names)
+	p.radius = make([]int, n)
+	for v := 0; v < n; v++ {
+		// BFS over undirected adjacency.
+		dist := map[Var]int{Var(v): 0}
+		frontier := []Var{Var(v)}
+		max := 0
+		for len(frontier) > 0 {
+			var next []Var
+			for _, u := range frontier {
+				du := dist[u]
+				step := func(w Var) {
+					if _, ok := dist[w]; !ok {
+						dist[w] = du + 1
+						if du+1 > max {
+							max = du + 1
+						}
+						next = append(next, w)
+					}
+				}
+				for _, e := range p.out[u] {
+					step(e.To)
+				}
+				for _, e := range p.in[u] {
+					step(e.From)
+				}
+			}
+			frontier = next
+		}
+		p.radius[v] = max
+	}
+}
+
+// String renders the pattern as "x:label" variable declarations followed by
+// edges, deterministic.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	for i, name := range p.names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", name, p.labels[i])
+	}
+	for _, e := range p.edges {
+		fmt.Fprintf(&b, "; %s-[%s]->%s", p.names[e.From], e.Label, p.names[e.To])
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// q3 builds the paper's Q3-like pattern: x,y (person) each -president_of->
+// z (country), plus x,y -nationality-> w1/w2 — simplified to 4 vars here:
+// x -p-> z, y -p-> z.
+func vee() *Pattern {
+	p := New()
+	x := p.AddVar("x", "person")
+	y := p.AddVar("y", "person")
+	z := p.AddVar("z", "country")
+	p.AddEdge(x, z, "president")
+	p.AddEdge(y, z, "vice")
+	return p
+}
+
+func TestAddVarAndLookup(t *testing.T) {
+	p := vee()
+	if p.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", p.NumVars())
+	}
+	if v := p.VarByName("y"); v == InvalidVar || p.Label(v) != "person" {
+		t.Errorf("VarByName(y) broken: %v", v)
+	}
+	if p.VarByName("nope") != InvalidVar {
+		t.Error("VarByName on missing name should be InvalidVar")
+	}
+}
+
+func TestDuplicateVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddVar did not panic")
+		}
+	}()
+	p := New()
+	p.AddVar("x", "a")
+	p.AddVar("x", "b")
+}
+
+func TestComponentsConnected(t *testing.T) {
+	p := vee()
+	if !p.Connected() {
+		t.Error("vee pattern should be connected")
+	}
+	q := New()
+	q.AddVar("a", "x")
+	q.AddVar("b", "y")
+	if q.Connected() {
+		t.Error("two isolated vars reported connected")
+	}
+	if got := len(q.Components()); got != 2 {
+		t.Errorf("components = %d, want 2", got)
+	}
+}
+
+func TestRadius(t *testing.T) {
+	// Chain x -> y -> z: radius at ends 2, at middle 1.
+	p := New()
+	x := p.AddVar("x", "a")
+	y := p.AddVar("y", "b")
+	z := p.AddVar("z", "c")
+	p.AddEdge(x, y, "e")
+	p.AddEdge(y, z, "e")
+	if p.Radius(x) != 2 || p.Radius(z) != 2 {
+		t.Errorf("end radius = %d,%d; want 2,2", p.Radius(x), p.Radius(z))
+	}
+	if p.Radius(y) != 1 {
+		t.Errorf("middle radius = %d, want 1", p.Radius(y))
+	}
+	// Radius ignores direction: reverse an edge, same radii.
+	q := New()
+	a := q.AddVar("a", "a")
+	b := q.AddVar("b", "b")
+	c := q.AddVar("c", "c")
+	q.AddEdge(b, a, "e")
+	q.AddEdge(b, c, "e")
+	if q.Radius(a) != 2 {
+		t.Errorf("undirected radius = %d, want 2", q.Radius(a))
+	}
+}
+
+func TestLabelMatches(t *testing.T) {
+	cases := []struct {
+		pat, data string
+		want      bool
+	}{
+		{"person", "person", true},
+		{"person", "place", false},
+		{graph.Wildcard, "anything", true},
+		{graph.Wildcard, graph.Wildcard, true},
+		{"person", graph.Wildcard, false}, // data '_' only matched by pattern '_'
+	}
+	for _, c := range cases {
+		if got := LabelMatches(c.pat, c.data); got != c.want {
+			t.Errorf("LabelMatches(%q,%q) = %v, want %v", c.pat, c.data, got, c.want)
+		}
+	}
+}
+
+func TestPivotPrefersSelectiveLabel(t *testing.T) {
+	p := vee()
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.AddNode("person")
+	}
+	g.AddNode("country")
+	pivots := p.Pivot(g)
+	if len(pivots) != 1 {
+		t.Fatalf("pivots = %v, want one per component", pivots)
+	}
+	if p.Label(pivots[0]) != "country" {
+		t.Errorf("pivot label = %s, want the selective label country", p.Label(pivots[0]))
+	}
+}
+
+func TestPivotOnePerComponent(t *testing.T) {
+	p := New()
+	a := p.AddVar("a", "x")
+	b := p.AddVar("b", "y")
+	p.AddEdge(a, a, "self")
+	_ = b
+	g := graph.New()
+	g.AddNode("x")
+	g.AddNode("y")
+	if got := len(p.Pivot(g)); got != 2 {
+		t.Errorf("pivots = %d, want 2 (one per component)", got)
+	}
+}
+
+func TestMatchOrderConnectivity(t *testing.T) {
+	p := vee()
+	order := p.MatchOrder(p.VarByName("z"))
+	if len(order) != 3 || order[0] != p.VarByName("z") {
+		t.Fatalf("order = %v", order)
+	}
+	// Every subsequent var must touch an earlier one.
+	placed := map[Var]bool{order[0]: true}
+	for _, v := range order[1:] {
+		touching := false
+		for _, e := range p.Out(v) {
+			if placed[e.To] {
+				touching = true
+			}
+		}
+		for _, e := range p.In(v) {
+			if placed[e.From] {
+				touching = true
+			}
+		}
+		if !touching {
+			t.Errorf("var %v placed without an assigned neighbor", v)
+		}
+		placed[v] = true
+	}
+}
+
+func TestAsGraphPreservesStructure(t *testing.T) {
+	p := vee()
+	g := p.AsGraph()
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("AsGraph size %d,%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Label(graph.NodeID(p.VarByName("z"))) != "country" {
+		t.Error("labels not preserved")
+	}
+	if !g.HasEdge(graph.NodeID(p.VarByName("x")), graph.NodeID(p.VarByName("z")), "president") {
+		t.Error("edge not preserved")
+	}
+}
+
+func TestWildcardKeptInAsGraph(t *testing.T) {
+	p := New()
+	p.AddVar("x", graph.Wildcard)
+	g := p.AsGraph()
+	if g.Label(0) != graph.Wildcard {
+		t.Errorf("wildcard label = %q, want %q", g.Label(0), graph.Wildcard)
+	}
+}
