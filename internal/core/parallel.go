@@ -37,7 +37,10 @@ type ParOptions struct {
 	// beyond the paper's variants).
 	DepOrder bool
 	// Simulation enables the graph-simulation pre-filter on pattern
-	// candidates (the paper's multi-query optimization device).
+	// candidates (the paper's multi-query optimization device). The
+	// relation is computed over graph's label-keyed adjacency index and
+	// seeded through the per-node degree/label signature, so both the seq
+	// and parallel variants pick the indexed path up transparently.
 	Simulation bool
 	// unitDepCap bounds the number of units for which the quadratic
 	// unit-level dependency graph is built; beyond it the coarser GFD-level
@@ -208,7 +211,8 @@ func (e *parEngine) candidatesFor(i int, v pattern.Var) []graph.NodeID {
 	if e.sims[i] != nil {
 		return e.sims[i].Nodes(v) // already ascending
 	}
-	out := append([]graph.NodeID{}, e.g.CandidateNodes(e.set.GFDs[i].Pattern.Label(v))...)
+	// CandidateNodes returns a fresh copy, so sorting in place is safe.
+	out := e.g.CandidateNodes(e.set.GFDs[i].Pattern.Label(v))
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }

@@ -111,6 +111,60 @@ func New(cfg Config) *Generator {
 	return g
 }
 
+// Schema returns a copy of the generator's frequent-edge pool: the
+// (srcLabel, edgeLabel, dstLabel) triples every generated pattern walks.
+// Callers use it to build workload-aligned probe patterns (e.g. the cycle
+// patterns of the matching benchmarks) without reaching into the pool.
+func (g *Generator) Schema() [][3]string {
+	return append([][3]string(nil), g.frequentEdges...)
+}
+
+// SchemaTriangles enumerates triangle patterns x-[l1]->y-[l2]->z closed by
+// a schema edge between x and z (either direction), up to max distinct
+// patterns. Triangles are the canonical rejection-heavy matching workload:
+// on a dense data graph the closing edge is satisfied by only a few percent
+// of the two-hop paths, so the pattern-matching benchmarks use them to
+// measure filtering cost rather than match materialization.
+func SchemaTriangles(schema [][3]string, max int) []*pattern.Pattern {
+	var ps []*pattern.Pattern
+	seen := make(map[string]bool)
+	for _, t1 := range schema {
+		for _, t2 := range schema {
+			if t2[0] != t1[2] {
+				continue
+			}
+			for _, t3 := range schema {
+				fwd := t3[0] == t1[0] && t3[2] == t2[2]
+				rev := t3[0] == t2[2] && t3[2] == t1[0]
+				if !fwd && !rev {
+					continue
+				}
+				key := fmt.Sprint(t1, t2, t3, fwd)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				p := pattern.New()
+				x := p.AddVar("x", t1[0])
+				y := p.AddVar("y", t1[2])
+				z := p.AddVar("z", t2[2])
+				p.AddEdge(x, y, t1[1])
+				p.AddEdge(y, z, t2[1])
+				if fwd {
+					p.AddEdge(x, z, t3[1])
+				} else {
+					p.AddEdge(z, x, t3[1])
+				}
+				ps = append(ps, p)
+				if len(ps) >= max {
+					return ps
+				}
+			}
+		}
+	}
+	return ps
+}
+
 // headLabel samples from the frequent (low-index) head of the label
 // universe so patterns share labels and interact.
 func (g *Generator) headLabel() string {
@@ -438,6 +492,28 @@ func (g *Generator) NonImpliedGFD() *gfd.GFD {
 // ConsistentGraph materializes a data graph where every node's attributes
 // follow W — a model-like graph for the mined-GFD scenario.
 func (g *Generator) ConsistentGraph(nodes int) *graph.Graph {
+	gr, labels := g.consistentNodes(nodes)
+	for i := 0; i < nodes; i++ {
+		for _, fe := range g.frequentEdges {
+			if fe[0] != labels[i] {
+				continue
+			}
+			// Link to some node with the destination label, if any.
+			for j := 0; j < nodes; j++ {
+				if labels[j] == fe[2] {
+					gr.AddEdge(graph.NodeID(i), graph.NodeID(j), fe[1])
+					break
+				}
+			}
+		}
+	}
+	return gr
+}
+
+// consistentNodes allocates nodes carrying profile labels and W-consistent
+// attribute values — the shared substrate of ConsistentGraph and DenseGraph.
+// It returns the edge-less graph plus each node's label.
+func (g *Generator) consistentNodes(nodes int) (*graph.Graph, []string) {
 	gr := graph.New()
 	labels := make([]string, nodes)
 	for i := 0; i < nodes; i++ {
@@ -453,18 +529,36 @@ func (g *Generator) ConsistentGraph(nodes int) *graph.Graph {
 			}
 		}
 	}
+	return gr, labels
+}
+
+// DenseGraph materializes a consistent data graph like ConsistentGraph but
+// label-dense: each node draws up to degree outgoing edges by sampling the
+// schema triples at its label with replacement, each toward a uniformly
+// random node carrying the destination label. The result stays a model of
+// consistent GFDs (attributes follow W) while giving every label a large
+// candidate set and every node a fat multi-label adjacency — the workload
+// where matching cost is dominated by adjacency filtering.
+func (g *Generator) DenseGraph(nodes, degree int) *graph.Graph {
+	gr, labels := g.consistentNodes(nodes)
+	byLabel := make(map[string][]graph.NodeID, 8)
+	for i, l := range labels {
+		byLabel[l] = append(byLabel[l], graph.NodeID(i))
+	}
 	for i := 0; i < nodes; i++ {
+		var fes [][3]string
 		for _, fe := range g.frequentEdges {
-			if fe[0] != labels[i] {
-				continue
+			if fe[0] == labels[i] && len(byLabel[fe[2]]) > 0 {
+				fes = append(fes, fe)
 			}
-			// Link to some node with the destination label, if any.
-			for j := 0; j < nodes; j++ {
-				if labels[j] == fe[2] {
-					gr.AddEdge(graph.NodeID(i), graph.NodeID(j), fe[1])
-					break
-				}
-			}
+		}
+		if len(fes) == 0 {
+			continue
+		}
+		for d := 0; d < degree; d++ {
+			fe := fes[g.rng.Intn(len(fes))]
+			targets := byLabel[fe[2]]
+			gr.AddEdge(graph.NodeID(i), targets[g.rng.Intn(len(targets))], fe[1])
 		}
 	}
 	return gr

@@ -43,12 +43,108 @@ type Node struct {
 	Attrs map[string]string
 }
 
+// LabelID is an edge label interned to a dense small integer. Interning
+// keeps string hashing out of the matching hot path: every per-edge probe
+// (HasEdgeID, OutByLabelID, InByLabelID) works on integers only. Resolve a
+// string label once with EdgeLabelID, then probe by ID.
+type LabelID int32
+
+const (
+	// AnyLabel is the LabelID of the Wildcard query: it matches every edge
+	// label.
+	AnyLabel LabelID = -1
+	// NoLabel is returned by EdgeLabelID for labels no edge of the graph
+	// carries; every probe with it finds nothing.
+	NoLabel LabelID = -2
+)
+
+// labelAdj is one node's edge-label-keyed adjacency index: the neighbor
+// endpoints grouped by interned edge label, plus the flat list of all
+// endpoints for wildcard queries. A node's distinct incident labels are few,
+// so the per-label lists are found by linear scan over an int slice — no
+// hashing, no per-lookup allocation. Endpoints are kept in ascending NodeID
+// order, so consumers can intersect two lists with a linear merge and test
+// membership by binary search; `all` can hold the same neighbor more than
+// once when parallel edges differ only in label.
+type labelAdj struct {
+	labels []LabelID
+	lists  [][]NodeID
+	all    []NodeID
+}
+
+func (a *labelAdj) add(id LabelID, n NodeID) {
+	a.all = insertSorted(a.all, n)
+	for i, l := range a.labels {
+		if l == id {
+			a.lists[i] = insertSorted(a.lists[i], n)
+			return
+		}
+	}
+	a.labels = append(a.labels, id)
+	a.lists = append(a.lists, []NodeID{n})
+}
+
+// insertSorted inserts n into an ascending list (duplicates allowed). The
+// tail fast path helps when endpoints arrive in ascending ID order (e.g.
+// in-lists during a Clone replay); arbitrary-order ingest pays an O(len)
+// shift, making index construction O(deg) per edge at a hub — acceptable
+// for the build-then-read workloads here, with a sort-at-freeze CSR
+// snapshot as the known open item for bulk loads (see DESIGN.md).
+func insertSorted(list []NodeID, n NodeID) []NodeID {
+	if len(list) == 0 || list[len(list)-1] <= n {
+		return append(list, n)
+	}
+	i := sort.Search(len(list), func(i int) bool { return list[i] > n })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = n
+	return list
+}
+
+// endpoints returns the indexed endpoints for a label query, with AnyLabel
+// meaning "any edge label".
+func (a *labelAdj) endpoints(id LabelID) []NodeID {
+	if id == AnyLabel {
+		return a.all
+	}
+	for i, l := range a.labels {
+		if l == id {
+			return a.lists[i]
+		}
+	}
+	return nil
+}
+
+// edgeKey is the integer-only key of the exact-edge existence set.
+type edgeKey struct {
+	from, to NodeID
+	label    LabelID
+}
+
+// pair keys the (from,to) edge-existence set backing wildcard HasEdge.
+type pair struct{ from, to NodeID }
+
 // Graph is a mutable directed labeled property graph. The zero value is not
 // usable; construct with New.
 type Graph struct {
 	nodes []Node
 	out   [][]Edge // adjacency by source
 	in    [][]Edge // adjacency by target
+	// outIdx/inIdx are the per-node label-keyed adjacency indexes behind
+	// OutByLabel/InByLabel, maintained incrementally by AddEdge.
+	outIdx []labelAdj
+	inIdx  []labelAdj
+	// labelIDs/labelNames intern edge labels to dense LabelIDs;
+	// nodeLabelIDs/nodeLabelOf do the same for node labels (nodeLabelOf is
+	// per-node, parallel to nodes).
+	labelIDs     map[string]LabelID
+	labelNames   []string
+	nodeLabelIDs map[string]LabelID
+	nodeLabelOf  []LabelID
+	// edgeSet/pairSet answer HasEdge in O(1): exact (from,label,to)
+	// membership and label-oblivious (from,to) membership respectively.
+	edgeSet map[edgeKey]struct{}
+	pairSet map[pair]struct{}
 	// byLabel indexes node IDs by label for selectivity estimation and
 	// candidate enumeration during matching.
 	byLabel map[string][]NodeID
@@ -57,7 +153,42 @@ type Graph struct {
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{byLabel: make(map[string][]NodeID)}
+	return &Graph{
+		labelIDs:     make(map[string]LabelID),
+		nodeLabelIDs: make(map[string]LabelID),
+		edgeSet:      make(map[edgeKey]struct{}),
+		pairSet:      make(map[pair]struct{}),
+		byLabel:      make(map[string][]NodeID),
+	}
+}
+
+// EdgeLabelID resolves an edge label to its interned ID: AnyLabel for the
+// Wildcard, NoLabel for labels absent from the graph. Callers on a hot path
+// resolve once and then probe with the ID-based accessors. IDs are assigned
+// in first-insertion order and remain valid for the graph's lifetime, but
+// do not transfer across graphs (Clone and Subgraph re-intern).
+func (g *Graph) EdgeLabelID(label string) LabelID {
+	if label == Wildcard {
+		return AnyLabel
+	}
+	if id, ok := g.labelIDs[label]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// internEdgeLabel returns the ID for a data edge label, allocating one on
+// first use. Unlike EdgeLabelID it interns the literal Wildcard too: a data
+// edge labeled '_' is an ordinary edge that happens to carry that label and
+// is only ever *queried* through wildcard semantics.
+func (g *Graph) internEdgeLabel(label string) LabelID {
+	if id, ok := g.labelIDs[label]; ok {
+		return id
+	}
+	id := LabelID(len(g.labelNames))
+	g.labelIDs[label] = id
+	g.labelNames = append(g.labelNames, label)
+	return id
 }
 
 // AddNode inserts a node with the given label and returns its ID.
@@ -66,9 +197,34 @@ func (g *Graph) AddNode(label string) NodeID {
 	g.nodes = append(g.nodes, Node{ID: id, Label: label})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.outIdx = append(g.outIdx, labelAdj{})
+	g.inIdx = append(g.inIdx, labelAdj{})
+	lid, ok := g.nodeLabelIDs[label]
+	if !ok {
+		lid = LabelID(len(g.nodeLabelIDs))
+		g.nodeLabelIDs[label] = lid
+	}
+	g.nodeLabelOf = append(g.nodeLabelOf, lid)
 	g.byLabel[label] = append(g.byLabel[label], id)
 	return id
 }
+
+// NodeLabelID resolves a node label to its interned ID: AnyLabel for the
+// Wildcard pattern label (which matches every node), NoLabel for labels no
+// node carries. Pair with LabelIDOf for integer-only label tests on hot
+// paths. IDs do not transfer across graphs.
+func (g *Graph) NodeLabelID(label string) LabelID {
+	if label == Wildcard {
+		return AnyLabel
+	}
+	if id, ok := g.nodeLabelIDs[label]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// LabelIDOf returns the interned ID of node v's label.
+func (g *Graph) LabelIDOf(v NodeID) LabelID { return g.nodeLabelOf[v] }
 
 // AddNodeWithAttrs inserts a node carrying the given attribute tuple.
 // The map is copied.
@@ -86,14 +242,18 @@ func (g *Graph) AddEdge(from, to NodeID, label string) {
 	if !g.valid(from) || !g.valid(to) {
 		panic(fmt.Sprintf("graph: AddEdge with invalid endpoint %d->%d", from, to))
 	}
-	for _, e := range g.out[from] {
-		if e.To == to && e.Label == label {
-			return
-		}
+	id := g.internEdgeLabel(label)
+	key := edgeKey{from: from, to: to, label: id}
+	if _, dup := g.edgeSet[key]; dup {
+		return
 	}
+	g.edgeSet[key] = struct{}{}
+	g.pairSet[pair{from, to}] = struct{}{}
 	e := Edge{From: from, To: to, Label: label}
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
+	g.outIdx[from].add(id, to)
+	g.inIdx[to].add(id, from)
 	g.edges++
 }
 
@@ -145,17 +305,55 @@ func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
 func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
 
 // HasEdge reports whether edge (from,to) with the given label exists.
-// A Wildcard label argument matches any edge label.
+// A Wildcard label argument matches any edge label. The test is a single
+// hash probe (O(1)) against the edge set maintained by AddEdge.
 func (g *Graph) HasEdge(from, to NodeID, label string) bool {
-	if !g.valid(from) || !g.valid(to) {
+	return g.HasEdgeID(from, to, g.EdgeLabelID(label))
+}
+
+// HasEdgeID is HasEdge with a pre-resolved label ID: one integer-keyed hash
+// probe, no string hashing.
+func (g *Graph) HasEdgeID(from, to NodeID, id LabelID) bool {
+	switch id {
+	case AnyLabel:
+		_, ok := g.pairSet[pair{from, to}]
+		return ok
+	case NoLabel:
 		return false
 	}
-	for _, e := range g.out[from] {
-		if e.To == to && (label == Wildcard || e.Label == label) {
-			return true
-		}
+	_, ok := g.edgeSet[edgeKey{from: from, to: to, label: id}]
+	return ok
+}
+
+// OutByLabel returns the targets of v's outgoing edges carrying the given
+// label, in ascending NodeID order. A Wildcard label returns the targets of
+// all outgoing edges; that list can repeat a target when parallel edges
+// differ only in label, so callers that need a set must dedup. Callers must
+// not mutate the slice.
+func (g *Graph) OutByLabel(v NodeID, label string) []NodeID {
+	return g.OutByLabelID(v, g.EdgeLabelID(label))
+}
+
+// OutByLabelID is OutByLabel with a pre-resolved label ID.
+func (g *Graph) OutByLabelID(v NodeID, id LabelID) []NodeID {
+	if !g.valid(v) {
+		return nil
 	}
-	return false
+	return g.outIdx[v].endpoints(id)
+}
+
+// InByLabel returns the sources of v's incoming edges carrying the given
+// label, with the same Wildcard and aliasing semantics as OutByLabel.
+func (g *Graph) InByLabel(v NodeID, label string) []NodeID {
+	return g.InByLabelID(v, g.EdgeLabelID(label))
+}
+
+// InByLabelID is InByLabel with a pre-resolved label ID.
+func (g *Graph) InByLabelID(v NodeID, id LabelID) []NodeID {
+	if !g.valid(v) {
+		return nil
+	}
+	return g.inIdx[v].endpoints(id)
 }
 
 // NodesByLabel returns the IDs of nodes carrying exactly the given label.
@@ -164,6 +362,8 @@ func (g *Graph) NodesByLabel(label string) []NodeID { return g.byLabel[label] }
 
 // CandidateNodes returns the nodes a pattern node with the given label may
 // match: all nodes for the wildcard, else the nodes with that exact label.
+// The returned slice is always a fresh copy owned by the caller, never the
+// graph's internal label index, so callers may sort or compact it in place.
 func (g *Graph) CandidateNodes(label string) []NodeID {
 	if label == Wildcard {
 		all := make([]NodeID, len(g.nodes))
@@ -172,7 +372,7 @@ func (g *Graph) CandidateNodes(label string) []NodeID {
 		}
 		return all
 	}
-	return g.byLabel[label]
+	return append([]NodeID(nil), g.byLabel[label]...)
 }
 
 // LabelFrequency returns the number of nodes carrying the label, with
@@ -182,6 +382,62 @@ func (g *Graph) LabelFrequency(label string) int {
 		return len(g.nodes)
 	}
 	return len(g.byLabel[label])
+}
+
+// Signature is a degree/label requirement on a node's adjacency, used to
+// prune match candidates: Out (resp. In) lists distinct edge labels of which
+// the node must carry at least one outgoing (resp. incoming) edge each. A
+// Wildcard entry requires an edge of any label. A pattern variable's
+// signature is derived from its pattern edges (see pattern.Signature); a
+// data node failing Covers cannot participate in any homomorphism at that
+// variable, because homomorphisms may collapse same-labeled pattern edges
+// onto one data edge but can never invent a missing edge label.
+type Signature struct {
+	Out []string
+	In  []string
+}
+
+// Covers reports whether node v's adjacency covers the signature: for every
+// label in sig.Out there is at least one outgoing edge with that label (any
+// label for Wildcard), and symmetrically for sig.In. Each probe is one index
+// lookup, so the whole check is O(|sig|). Hot paths resolve the signature
+// once with ResolveLabels and call CoversIDs instead.
+func (g *Graph) Covers(v NodeID, sig Signature) bool {
+	return g.CoversIDs(v, g.ResolveLabels(sig.Out), g.ResolveLabels(sig.In))
+}
+
+// CoversIDs is Covers with pre-resolved label IDs: integer-only probes, no
+// string hashing. It is the single implementation of the signature-cover
+// rule; Covers and the match/simulation pruning paths all route here.
+func (g *Graph) CoversIDs(v NodeID, outIDs, inIDs []LabelID) bool {
+	if !g.valid(v) {
+		return false
+	}
+	for _, id := range outIDs {
+		if len(g.outIdx[v].endpoints(id)) == 0 {
+			return false
+		}
+	}
+	for _, id := range inIDs {
+		if len(g.inIdx[v].endpoints(id)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveLabels maps a label list through EdgeLabelID. Hot paths resolve a
+// signature or a pattern's edge labels once with this and then probe the
+// ID-based accessors only.
+func (g *Graph) ResolveLabels(labels []string) []LabelID {
+	if len(labels) == 0 {
+		return nil
+	}
+	ids := make([]LabelID, len(labels))
+	for i, l := range labels {
+		ids[i] = g.EdgeLabelID(l)
+	}
+	return ids
 }
 
 // Labels returns the distinct node labels in deterministic order.

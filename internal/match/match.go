@@ -51,17 +51,44 @@ type Search struct {
 	// given node set (the d_Q-neighborhood of the unit's pivot).
 	restrict map[pattern.Var]map[graph.NodeID]bool
 	filter   func(pattern.Var, graph.NodeID) bool
+	scan     bool
+	// vars holds per-variable pre-resolved label IDs so the inner loops
+	// never hash a string: pattern edge labels aligned with p.Out/p.In, and
+	// the variable's pruning signature.
+	vars []varIndex
 
 	assign Assignment
 	seeded []bool // variables fixed by the seed (never backtracked)
 	stack  []frame
 	done   bool
+	// scratch recycles one candidate buffer per search depth: a popped
+	// frame's cands backing array is reused by the next push at that depth,
+	// so steady-state backtracking allocates nothing.
+	scratch [][]graph.NodeID
+	// openDepth caches depthLimit(): the number of non-seeded variables.
+	openDepth int
 }
 
 type frame struct {
 	v     pattern.Var
 	cands []graph.NodeID
 	idx   int // next candidate to try
+	// verified marks a frame whose candidates were already filtered against
+	// the variable's label and every pattern edge bound at push time (the
+	// bound set cannot change while the frame iterates, so the per-frame
+	// filter is exhaustive and Next skips per-candidate consistency). Scan
+	// mode never verifies, reproducing the pre-index per-candidate checks.
+	verified bool
+}
+
+// varIndex is one pattern variable's label IDs resolved against the data
+// graph, computed once per Search.
+type varIndex struct {
+	labelID graph.LabelID   // the variable's node label (AnyLabel for '_')
+	outIDs  []graph.LabelID // aligned with p.Out(v)
+	inIDs   []graph.LabelID // aligned with p.In(v)
+	sigOut  []graph.LabelID // resolved Signature.Out
+	sigIn   []graph.LabelID // resolved Signature.In
 }
 
 // Options configures a Search.
@@ -77,6 +104,12 @@ type Options struct {
 	// Filter, when non-nil, limits candidates further (e.g. to a simulation
 	// relation) without allocating per-search sets.
 	Filter func(pattern.Var, graph.NodeID) bool
+	// Scan disables the graph's label-keyed adjacency index and signature
+	// pruning, generating candidates by filtering raw Out/In edge slices and
+	// testing edges by linear scan — the pre-index code path. It exists for
+	// the indexed-vs-scan equivalence tests and benchmarks; production
+	// callers leave it false.
+	Scan bool
 }
 
 // DefaultOrder returns a connectivity-respecting order over all components.
@@ -112,8 +145,21 @@ func NewSearch(p *pattern.Pattern, g *graph.Graph, opts Options) *Search {
 		order:    order,
 		restrict: opts.Restrict,
 		filter:   opts.Filter,
+		scan:     opts.Scan,
 		assign:   NewAssignment(p.NumVars()),
 		seeded:   make([]bool, p.NumVars()),
+	}
+	s.vars = make([]varIndex, p.NumVars())
+	for v := range s.vars {
+		u := pattern.Var(v)
+		sig := p.Signature(u)
+		outs, ins := p.Out(u), p.In(u)
+		vx := &s.vars[v]
+		vx.labelID = g.NodeLabelID(p.Label(u))
+		vx.outIDs = resolveEdgeLabels(g, outs)
+		vx.inIDs = resolveEdgeLabels(g, ins)
+		vx.sigOut = g.ResolveLabels(sig.Out)
+		vx.sigIn = g.ResolveLabels(sig.In)
 	}
 	if opts.Seed != nil {
 		for v, n := range opts.Seed {
@@ -133,6 +179,8 @@ func NewSearch(p *pattern.Pattern, g *graph.Graph, opts Options) *Search {
 			break
 		}
 	}
+	s.openDepth = s.depthLimit()
+	s.scratch = make([][]graph.NodeID, s.openDepth)
 	return s
 }
 
@@ -180,11 +228,11 @@ func (s *Search) Next() (Assignment, bool) {
 		}
 		cand := top.cands[top.idx]
 		top.idx++
-		if !s.consistent(top.v, cand) {
+		if !top.verified && !s.consistent(top.v, cand) {
 			continue
 		}
 		s.assign[top.v] = cand
-		if len(s.stack) == s.depthLimit() {
+		if len(s.stack) == s.openDepth {
 			return s.assign.Clone(), true
 		}
 		s.push()
@@ -216,7 +264,13 @@ func (s *Search) push() {
 	if v == pattern.InvalidVar {
 		panic("match: push with complete assignment")
 	}
-	s.stack = append(s.stack, frame{v: v, cands: s.candidates(v)})
+	d := len(s.stack)
+	var buf []graph.NodeID
+	if d < len(s.scratch) {
+		buf = s.scratch[d][:0]
+	}
+	cands, verified := s.candidates(v, buf)
+	s.stack = append(s.stack, frame{v: v, cands: cands, verified: verified})
 }
 
 func (s *Search) retractTop() {
@@ -225,37 +279,76 @@ func (s *Search) retractTop() {
 }
 
 func (s *Search) pop() {
-	s.stack = s.stack[:len(s.stack)-1]
+	d := len(s.stack) - 1
+	if d < len(s.scratch) {
+		// Hand the (possibly grown) backing array back for the next push at
+		// this depth.
+		s.scratch[d] = s.stack[d].cands[:0]
+	}
+	s.stack = s.stack[:d]
 }
 
 // candidates computes the candidate nodes for v given the current partial
-// assignment: generated from an assigned pattern-neighbor's adjacency when
-// one exists (cheap), else from the label index; filtered by restriction.
-func (s *Search) candidates(v pattern.Var) []graph.NodeID {
+// assignment: generated from an assigned pattern-neighbor's indexed
+// adjacency when one exists (cheap — only edges carrying the pattern edge's
+// label are visited), else from the label index; pruned by the variable's
+// degree/label signature; filtered by restriction. All filtering compacts
+// buf in place, so steady-state backtracking reuses the per-depth scratch
+// buffer without allocating. With Options.Scan the neighbor expansion
+// filters the raw edge slices instead and the signature pruning is skipped,
+// reproducing the pre-index path.
+func (s *Search) candidates(v pattern.Var, buf []graph.NodeID) (cands []graph.NodeID, verified bool) {
 	label := s.p.Label(v)
-	var base []graph.NodeID
-	// Prefer generating from an assigned neighbor to keep candidate sets
-	// small; edge-label and direction constraints are applied here, and
-	// consistent() re-checks all edges anyway.
-	gen := false
-	for _, e := range s.p.In(v) {
+	base := buf
+	// genIn/genEi record the pattern edge the candidates are generated
+	// from; that edge needs no re-check. Prefer generating from an assigned
+	// neighbor to keep candidate sets small.
+	//
+	// needDedup: an exact-label adjacency list has unique endpoints (AddEdge
+	// is idempotent per (from,label,to)), so duplicates only arise when the
+	// generating pattern edge is the wildcard, whose candidate list spans
+	// every edge label.
+	gen, needDedup, genIn, genEi := false, false, false, -1
+	for ei, e := range s.p.In(v) {
 		if u := s.assign[e.From]; u != graph.InvalidNode {
-			for _, ge := range s.g.Out(u) {
-				if (e.Label == graph.Wildcard || ge.Label == e.Label) && pattern.LabelMatches(label, s.g.Label(ge.To)) {
-					base = append(base, ge.To)
+			needDedup = e.Label == graph.Wildcard
+			if s.scan {
+				for _, ge := range s.g.Out(u) {
+					if (e.Label == graph.Wildcard || ge.Label == e.Label) && pattern.LabelMatches(label, s.g.Label(ge.To)) {
+						base = append(base, ge.To)
+					}
 				}
+			} else {
+				want := s.vars[v].labelID
+				for _, n := range s.g.OutByLabelID(u, s.vars[v].inIDs[ei]) {
+					if want == graph.AnyLabel || want == s.g.LabelIDOf(n) {
+						base = append(base, n)
+					}
+				}
+				genIn, genEi = true, ei
 			}
 			gen = true
 			break
 		}
 	}
 	if !gen {
-		for _, e := range s.p.Out(v) {
+		for ei, e := range s.p.Out(v) {
 			if u := s.assign[e.To]; u != graph.InvalidNode {
-				for _, ge := range s.g.In(u) {
-					if (e.Label == graph.Wildcard || ge.Label == e.Label) && pattern.LabelMatches(label, s.g.Label(ge.From)) {
-						base = append(base, ge.From)
+				needDedup = e.Label == graph.Wildcard
+				if s.scan {
+					for _, ge := range s.g.In(u) {
+						if (e.Label == graph.Wildcard || ge.Label == e.Label) && pattern.LabelMatches(label, s.g.Label(ge.From)) {
+							base = append(base, ge.From)
+						}
 					}
+				} else {
+					want := s.vars[v].labelID
+					for _, n := range s.g.InByLabelID(u, s.vars[v].outIDs[ei]) {
+						if want == graph.AnyLabel || want == s.g.LabelIDOf(n) {
+							base = append(base, n)
+						}
+					}
+					genIn, genEi = false, ei
 				}
 				gen = true
 				break
@@ -263,9 +356,39 @@ func (s *Search) candidates(v pattern.Var) []graph.NodeID {
 		}
 	}
 	if !gen {
-		// Copy: CandidateNodes may return the graph's internal label index,
-		// and the filter below compacts base in place.
-		base = append([]graph.NodeID(nil), s.g.CandidateNodes(label)...)
+		// Fill from the label index (read-only: the IDs are appended into
+		// buf, never mutated in the index itself).
+		if label == graph.Wildcard {
+			for i, n := 0, s.g.NumNodes(); i < n; i++ {
+				base = append(base, graph.NodeID(i))
+			}
+		} else {
+			base = append(base, s.g.NodesByLabel(label)...)
+		}
+		if !s.scan && (len(s.vars[v].sigOut) > 0 || len(s.vars[v].sigIn) > 0) {
+			// Signature pruning: drop nodes whose out/in edge labels cannot
+			// cover v's pattern edges. Sound (never drops a real match) and
+			// applied only to unconstrained label-index sets — neighbor
+			// -generated candidates are already edge-constrained, so the
+			// extra probes rarely prune anything there.
+			kept := base[:0]
+			for _, n := range base {
+				if s.covers(v, n) {
+					kept = append(kept, n)
+				}
+			}
+			base = kept
+		}
+	}
+	if !s.scan {
+		// Filter by every remaining pattern edge whose other endpoint is
+		// bound. The bound set is frozen while this frame iterates (deeper
+		// frames pop before this frame advances), so doing it here —
+		// list-at-a-time, with the neighbor's label-filtered adjacency
+		// resolved once instead of per candidate — makes the frame fully
+		// verified: Next skips per-candidate consistency entirely.
+		base = s.filterBoundEdges(v, base, genIn, genEi)
+		verified = true
 	}
 	if s.filter != nil {
 		kept := base[:0]
@@ -276,22 +399,132 @@ func (s *Search) candidates(v pattern.Var) []graph.NodeID {
 		}
 		base = kept
 	}
-	if s.restrict == nil || s.restrict[v] == nil {
-		return dedup(base)
+	if s.restrict != nil && s.restrict[v] != nil {
+		allowed := s.restrict[v]
+		kept := base[:0]
+		for _, n := range base {
+			if allowed[n] {
+				kept = append(kept, n)
+			}
+		}
+		base = kept
 	}
-	allowed := s.restrict[v]
-	var out []graph.NodeID
-	for _, n := range base {
-		if allowed[n] {
-			out = append(out, n)
+	if !needDedup {
+		// Label-index candidates and exact-label adjacency lists are unique
+		// by construction, and the filters above only remove elements; only
+		// wildcard-edge expansion can introduce duplicates.
+		return base, verified
+	}
+	if !s.scan {
+		// Indexed candidate lists are ascending (sorted adjacency, filters
+		// preserve order), so duplicates are adjacent.
+		return dedupSorted(base), verified
+	}
+	return dedup(base), verified
+}
+
+// dedupSorted compacts an ascending slice in place, O(n) and
+// allocation-free.
+func dedupSorted(ids []graph.NodeID) []graph.NodeID {
+	out := ids[:0]
+	last := graph.InvalidNode // never a real candidate
+	for _, id := range ids {
+		if id != last {
+			out = append(out, id)
+			last = id
 		}
 	}
-	return dedup(out)
+	return out
 }
+
+// intersectSorted compacts base to the elements present in list. Both
+// slices are ascending (the index keeps adjacency sorted; base is generated
+// from one sorted list or the ascending label index and only ever
+// compacted), so one linear merge replaces per-candidate membership probes.
+func intersectSorted(base, list []graph.NodeID) []graph.NodeID {
+	kept := base[:0]
+	j := 0
+	for _, n := range base {
+		for j < len(list) && list[j] < n {
+			j++
+		}
+		if j < len(list) && list[j] == n {
+			kept = append(kept, n)
+		}
+	}
+	return kept
+}
+
+// filterBoundEdges drops candidates violating a pattern edge between v and
+// an already-assigned variable (or a self-loop at v), excluding the
+// generating edge genEi. Each edge's constraint is one sorted-merge
+// intersection with the bound neighbor's label-filtered adjacency —
+// resolved once per edge, O(|base|+|adjacency|) total.
+func (s *Search) filterBoundEdges(v pattern.Var, base []graph.NodeID, genIn bool, genEi int) []graph.NodeID {
+	for ei, e := range s.p.Out(v) {
+		if (genEi == ei && !genIn) || len(base) == 0 {
+			continue
+		}
+		id := s.vars[v].outIDs[ei]
+		if e.To == v {
+			// Self-loop: candidate must carry the edge onto itself.
+			kept := base[:0]
+			for _, n := range base {
+				if s.g.HasEdgeID(n, n, id) {
+					kept = append(kept, n)
+				}
+			}
+			base = kept
+			continue
+		}
+		u := s.assign[e.To]
+		if u == graph.InvalidNode {
+			continue
+		}
+		base = intersectSorted(base, s.g.InByLabelID(u, id))
+	}
+	for ei, e := range s.p.In(v) {
+		if (genEi == ei && genIn) || len(base) == 0 {
+			continue
+		}
+		if e.From == v {
+			continue // self-loop handled in the out pass
+		}
+		u := s.assign[e.From]
+		if u == graph.InvalidNode {
+			continue
+		}
+		base = intersectSorted(base, s.g.OutByLabelID(u, s.vars[v].inIDs[ei]))
+	}
+	return base
+}
+
+// dedupScanMax is the slice length up to which dedup uses a quadratic scan
+// instead of allocating a map: candidate sets in the innermost expansion
+// loop are usually small, and the scan keeps them allocation-free (a map
+// costs an allocation plus a hash per element, which the cache-resident
+// quadratic scan undercuts well past a dozen entries).
+const dedupScanMax = 32
 
 func dedup(ids []graph.NodeID) []graph.NodeID {
 	if len(ids) <= 1 {
 		return ids
+	}
+	if len(ids) <= dedupScanMax {
+		out := ids[:0]
+		for _, id := range ids {
+			dup := false
+			for _, kept := range out {
+				if kept == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, id)
+			}
+		}
+		return out
 	}
 	seen := make(map[graph.NodeID]bool, len(ids))
 	out := ids[:0]
@@ -304,14 +537,69 @@ func dedup(ids []graph.NodeID) []graph.NodeID {
 	return out
 }
 
+// resolveEdgeLabels maps pattern edges to their data-graph label IDs,
+// aligned by index.
+func resolveEdgeLabels(g *graph.Graph, edges []pattern.Edge) []graph.LabelID {
+	if len(edges) == 0 {
+		return nil
+	}
+	ids := make([]graph.LabelID, len(edges))
+	for i, e := range edges {
+		ids[i] = g.EdgeLabelID(e.Label)
+	}
+	return ids
+}
+
+// covers reports whether n's adjacency covers v's pre-resolved signature.
+func (s *Search) covers(v pattern.Var, n graph.NodeID) bool {
+	return s.g.CoversIDs(n, s.vars[v].sigOut, s.vars[v].sigIn)
+}
+
+// hasEdgeListMax is the label-filtered adjacency length up to which the
+// indexed edge test scans the list (sequential integer compares, no
+// hashing) instead of probing the O(1) edge set. Scanning a cache-resident
+// int slice beats hashing a 20-byte struct key well past a few dozen
+// entries; the hash set remains the asymptotic guarantee for hub nodes.
+const hasEdgeListMax = 64
+
+// hasEdge tests a data edge. The indexed path scans the (short)
+// label-filtered adjacency list, falling back to the integer-keyed hash set
+// for fat lists; scan mode walks the raw out-edge slice like the pre-index
+// implementation did.
+func (s *Search) hasEdge(from, to graph.NodeID, label string, id graph.LabelID) bool {
+	if !s.scan {
+		list := s.g.OutByLabelID(from, id)
+		if len(list) <= hasEdgeListMax {
+			for _, t := range list {
+				if t == to {
+					return true
+				}
+			}
+			return false
+		}
+		return s.g.HasEdgeID(from, to, id)
+	}
+	for _, e := range s.g.Out(from) {
+		if e.To == to && (label == graph.Wildcard || e.Label == label) {
+			return true
+		}
+	}
+	return false
+}
+
 // consistent checks that mapping v→n preserves v's label and every pattern
 // edge between v and an already-assigned variable (including self-loops and
-// edges to seeded variables).
+// edges to seeded variables). It is the per-candidate path for scan mode
+// and seed validation; indexed frames are pre-verified by candidates().
 func (s *Search) consistent(v pattern.Var, n graph.NodeID) bool {
-	if !pattern.LabelMatches(s.p.Label(v), s.g.Label(n)) {
+	if s.scan {
+		if !pattern.LabelMatches(s.p.Label(v), s.g.Label(n)) {
+			return false
+		}
+	} else if want := s.vars[v].labelID; want != graph.AnyLabel && want != s.g.LabelIDOf(n) {
 		return false
 	}
-	for _, e := range s.p.Out(v) {
+	for ei, e := range s.p.Out(v) {
 		to := e.To
 		var target graph.NodeID
 		if to == v {
@@ -322,11 +610,11 @@ func (s *Search) consistent(v pattern.Var, n graph.NodeID) bool {
 				continue
 			}
 		}
-		if !s.g.HasEdge(n, target, e.Label) {
+		if !s.hasEdge(n, target, e.Label, s.vars[v].outIDs[ei]) {
 			return false
 		}
 	}
-	for _, e := range s.p.In(v) {
+	for ei, e := range s.p.In(v) {
 		from := e.From
 		if from == v {
 			continue // self-loop handled above
@@ -335,7 +623,7 @@ func (s *Search) consistent(v pattern.Var, n graph.NodeID) bool {
 		if src == graph.InvalidNode {
 			continue
 		}
-		if !s.g.HasEdge(src, n, e.Label) {
+		if !s.hasEdge(src, n, e.Label, s.vars[v].inIDs[ei]) {
 			return false
 		}
 	}

@@ -51,10 +51,28 @@ func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
 	for v := 0; v < nv; v++ {
 		bits := make([]bool, s.n)
 		cnt := 0
-		for _, n := range g.CandidateNodes(p.Label(pattern.Var(v))) {
-			if !bits[n] {
+		// Seed with the label candidates, pre-filtered by the variable's
+		// degree/label signature: a node whose adjacency cannot cover the
+		// variable's pattern edges would be refined away anyway, so dropping
+		// it here shrinks the fixpoint's working set for free. The signature
+		// is resolved to label IDs once so the per-node probes are
+		// integer-only, and the label index is read in place (no copy).
+		sig := p.Signature(pattern.Var(v))
+		sigOut := g.ResolveLabels(sig.Out)
+		sigIn := g.ResolveLabels(sig.In)
+		seed := func(n graph.NodeID) {
+			if g.CoversIDs(n, sigOut, sigIn) {
 				bits[n] = true
 				cnt++
+			}
+		}
+		if label := p.Label(pattern.Var(v)); label == graph.Wildcard {
+			for n := 0; n < s.n; n++ {
+				seed(graph.NodeID(n))
+			}
+		} else {
+			for _, n := range g.NodesByLabel(label) {
+				seed(n)
 			}
 		}
 		if cnt == 0 {
@@ -62,6 +80,14 @@ func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
 		}
 		s.bits[v] = bits
 		s.cnt[v] = cnt
+	}
+	// Pre-resolve every pattern edge's label ID so the fixpoint loop probes
+	// the adjacency index with integers only.
+	outIDs := make([][]graph.LabelID, nv)
+	inIDs := make([][]graph.LabelID, nv)
+	for v := 0; v < nv; v++ {
+		outIDs[v] = resolveEdgeLabels(g, p.Out(pattern.Var(v)))
+		inIDs[v] = resolveEdgeLabels(g, p.In(pattern.Var(v)))
 	}
 	// Refine to a fixpoint: drop n from sim(u) if some pattern edge at u
 	// cannot be realized within the current sim sets.
@@ -75,7 +101,7 @@ func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
 				if !bits[n] {
 					continue
 				}
-				if !edgesRealizable(p, g, s, u, graph.NodeID(n)) {
+				if !edgesRealizable(p, g, s, u, graph.NodeID(n), outIDs[v], inIDs[v]) {
 					bits[n] = false
 					s.cnt[u]--
 					changed = true
@@ -89,11 +115,14 @@ func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
 	return s
 }
 
-func edgesRealizable(p *pattern.Pattern, g *graph.Graph, s *Sim, u pattern.Var, n graph.NodeID) bool {
-	for _, e := range p.Out(u) {
+func edgesRealizable(p *pattern.Pattern, g *graph.Graph, s *Sim, u pattern.Var, n graph.NodeID, outIDs, inIDs []graph.LabelID) bool {
+	// The label-keyed adjacency index hands back exactly the edges carrying
+	// the pattern edge's label (all edges for wildcard), so the inner loops
+	// touch no mismatched edges.
+	for ei, e := range p.Out(u) {
 		ok := false
-		for _, ge := range g.Out(n) {
-			if (e.Label == graph.Wildcard || ge.Label == e.Label) && s.bits[e.To][ge.To] {
+		for _, t := range g.OutByLabelID(n, outIDs[ei]) {
+			if s.bits[e.To][t] {
 				ok = true
 				break
 			}
@@ -102,10 +131,10 @@ func edgesRealizable(p *pattern.Pattern, g *graph.Graph, s *Sim, u pattern.Var, 
 			return false
 		}
 	}
-	for _, e := range p.In(u) {
+	for ei, e := range p.In(u) {
 		ok := false
-		for _, ge := range g.In(n) {
-			if (e.Label == graph.Wildcard || ge.Label == e.Label) && s.bits[e.From][ge.From] {
+		for _, f := range g.InByLabelID(n, inIDs[ei]) {
+			if s.bits[e.From][f] {
 				ok = true
 				break
 			}

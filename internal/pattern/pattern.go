@@ -38,8 +38,9 @@ type Pattern struct {
 	frozen     bool
 	out        [][]Edge
 	in         [][]Edge
-	components [][]Var // connected components (undirected), each sorted
-	radius     []int   // eccentricity of each var within its component
+	components [][]Var           // connected components (undirected), each sorted
+	radius     []int             // eccentricity of each var within its component
+	sigs       []graph.Signature // per-var adjacency requirement for pruning
 }
 
 // New returns an empty pattern.
@@ -109,6 +110,7 @@ func (p *Pattern) Freeze() {
 	}
 	p.computeComponents()
 	p.computeRadii()
+	p.computeSignatures()
 	p.frozen = true
 }
 
@@ -126,6 +128,16 @@ func (p *Pattern) Components() [][]Var { p.Freeze(); return p.components }
 // Connected reports whether Q is non-empty and has a single connected
 // component.
 func (p *Pattern) Connected() bool { p.Freeze(); return len(p.components) == 1 }
+
+// Signature returns the adjacency requirement a data node must cover to
+// match v: the distinct out/in edge labels of v's pattern edges (wildcard
+// edges demand an edge of any label). The signatures are precomputed at
+// Freeze, so probing one allocates nothing; candidate filters apply them via
+// graph.Covers. The requirement is sound for homomorphisms: distinct labels
+// cannot collapse onto one data edge, so a node missing a label matches
+// nothing, while multiplicities are deliberately ignored (two same-labeled
+// pattern edges may map to a single data edge when their endpoints unify).
+func (p *Pattern) Signature(v Var) graph.Signature { p.Freeze(); return p.sigs[v] }
 
 // Radius returns the eccentricity of v within its connected component: the
 // longest undirected shortest-path distance from v to any variable of the
@@ -298,6 +310,33 @@ func (p *Pattern) computeRadii() {
 			frontier = next
 		}
 		p.radius[v] = max
+	}
+}
+
+func (p *Pattern) computeSignatures() {
+	distinct := func(edges []Edge) []string {
+		if len(edges) == 0 {
+			return nil
+		}
+		var ls []string
+		for _, e := range edges {
+			dup := false
+			for _, l := range ls {
+				if l == e.Label {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ls = append(ls, e.Label)
+			}
+		}
+		sort.Strings(ls)
+		return ls
+	}
+	p.sigs = make([]graph.Signature, len(p.names))
+	for v := range p.sigs {
+		p.sigs[v] = graph.Signature{Out: distinct(p.out[v]), In: distinct(p.in[v])}
 	}
 }
 
