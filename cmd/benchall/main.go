@@ -5,6 +5,15 @@
 // Usage:
 //
 //	benchall [-scale 0.025] [-reps 3] [-seed 1] [-only fig6e]
+//	benchall -ci BENCH_ci.json [-baseline BENCH_baseline.json] [-tolerance 0.25]
+//
+// The -ci form runs the benchmark-regression metric suite instead of the
+// paper experiments, writes the JSON report to the given path, and — when
+// -baseline names a previous report — exits 1 if any gating metric
+// regressed beyond the tolerance. CI uses it both ways: the checked-in
+// BENCH_baseline.json is regenerated with `-ci BENCH_baseline.json` on a
+// quiet machine, and every pipeline run emits BENCH_ci.json as an artifact
+// gated against that baseline.
 package main
 
 import (
@@ -21,10 +30,17 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per cell (median reported)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	only := flag.String("only", "", "run a single experiment (e.g. fig5, fig6a ... fig6l)")
+	ciOut := flag.String("ci", "", "run the CI benchmark-regression suite and write its JSON report to this path")
+	baseline := flag.String("baseline", "", "with -ci: compare against this baseline report, exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "with -baseline: allowed fractional regression per gating metric")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed}
 	start := time.Now()
+	if *ciOut != "" {
+		runCI(cfg, *ciOut, *baseline, *tolerance, start)
+		return
+	}
 	if *only != "" {
 		run := bench.ByName(*only)
 		if run == nil {
@@ -39,4 +55,36 @@ func main() {
 		}
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runCI measures the regression suite, writes the report, and gates it
+// against the baseline when one is named.
+func runCI(cfg bench.Config, out, baseline string, tolerance float64, start time.Time) {
+	report, err := bench.RunCI(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ci suite: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(report.Format())
+	if err := bench.WriteCIReport(out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+		os.Exit(2)
+	}
+	fmt.Printf("wrote %s in %s\n", out, time.Since(start).Round(time.Millisecond))
+	if baseline == "" {
+		return
+	}
+	base, err := bench.ReadCIReport(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "read baseline %s: %v\n", baseline, err)
+		os.Exit(2)
+	}
+	if violations := bench.CompareCI(base, report, tolerance); len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchmark regression against %s:\n", baseline)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regression against %s (tolerance %.0f%%)\n", baseline, tolerance*100)
 }

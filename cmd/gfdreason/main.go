@@ -96,7 +96,9 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer f.Close()
-		g, err := gfdio.ReadGraph(f)
+		// Validation is read-only over a potentially large graph: ingest
+		// through the bulk-load Builder and check against the CSR snapshot.
+		g, err := gfdio.ReadFrozenGraph(f)
 		if err != nil {
 			fatalf("parse %s: %v", args[1], err)
 		}

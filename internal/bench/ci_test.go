@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ciReport(vals map[string]float64) *CIReport {
+	r := &CIReport{}
+	for name, v := range vals {
+		r.Metrics = append(r.Metrics, Metric{Name: name, Value: v, HigherIsBetter: true})
+	}
+	return r
+}
+
+func TestCompareCIWithinTolerance(t *testing.T) {
+	base := ciReport(map[string]float64{"speedup": 4.0})
+	cur := ciReport(map[string]float64{"speedup": 3.2}) // exactly at the 20% floor for tol=0.2
+	if vs := CompareCI(base, cur, 0.2); len(vs) != 0 {
+		t.Fatalf("value at the floor should pass, got %v", vs)
+	}
+	cur = ciReport(map[string]float64{"speedup": 3.19})
+	if vs := CompareCI(base, cur, 0.2); len(vs) != 1 {
+		t.Fatalf("value below the floor should fail, got %v", vs)
+	}
+}
+
+func TestCompareCIDirections(t *testing.T) {
+	base := &CIReport{Metrics: []Metric{
+		{Name: "ratio", Value: 2.0, HigherIsBetter: true},
+		{Name: "latency", Value: 100, HigherIsBetter: false},
+	}}
+	cur := &CIReport{Metrics: []Metric{
+		{Name: "ratio", Value: 2.5},   // improved
+		{Name: "latency", Value: 130}, // 30% slower
+	}}
+	vs := CompareCI(base, cur, 0.25)
+	if len(vs) != 1 || !strings.Contains(vs[0], "latency") {
+		t.Fatalf("only the latency regression should fire, got %v", vs)
+	}
+}
+
+func TestCompareCIMissingAndExtra(t *testing.T) {
+	base := &CIReport{Metrics: []Metric{
+		{Name: "gone", Value: 1, HigherIsBetter: true},
+		{Name: "note", Value: 9, Informational: true},
+	}}
+	cur := &CIReport{Metrics: []Metric{
+		{Name: "brand-new", Value: 7, HigherIsBetter: true},
+	}}
+	vs := CompareCI(base, cur, 0.25)
+	if len(vs) != 1 || !strings.Contains(vs[0], "gone") {
+		t.Fatalf("want exactly the missing gating metric, got %v", vs)
+	}
+}
+
+func TestCIReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ci.json")
+	want := &CIReport{Metrics: []Metric{
+		{Name: "a", Value: 1.25, Unit: "x", HigherIsBetter: true},
+		{Name: "b_ms", Value: 17.5, Unit: "ms", Informational: true},
+	}}
+	if err := WriteCIReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCIReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics) != len(want.Metrics) {
+		t.Fatalf("round trip lost metrics: %+v", got)
+	}
+	for i, m := range want.Metrics {
+		if got.Metrics[i] != m {
+			t.Fatalf("metric %d round-tripped as %+v, want %+v", i, got.Metrics[i], m)
+		}
+	}
+	// A fresh report compared against itself is never a regression.
+	if vs := CompareCI(got, got, 0); len(vs) != 0 {
+		t.Fatalf("self-comparison flagged %v", vs)
+	}
+}
+
+// TestRunCISmoke runs the real metric suite at a single rep and checks the
+// invariants the CI gate depends on: all gating metrics present and
+// positive.
+func TestRunCISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite in -short mode")
+	}
+	r, err := RunCI(Config{Reps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"freeze_ingest_speedup", "match_indexed_speedup", "match_frozen_gain"} {
+		m, ok := r.Get(name)
+		if !ok {
+			t.Fatalf("gating metric %s missing", name)
+		}
+		if m.Informational || !m.HigherIsBetter {
+			t.Fatalf("gating metric %s mis-declared: %+v", name, m)
+		}
+		if m.Value <= 0 {
+			t.Fatalf("gating metric %s not positive: %v", name, m.Value)
+		}
+	}
+	if out := r.Format(); !strings.Contains(out, "freeze_ingest_speedup") {
+		t.Fatalf("Format omits metrics:\n%s", out)
+	}
+}

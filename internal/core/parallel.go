@@ -110,7 +110,7 @@ type wmsg struct {
 type parEngine struct {
 	opt    ParOptions
 	set    *gfd.Set
-	g      *graph.Graph
+	g      graph.Reader
 	baseEq *eq.Eq            // nil for satisfiability; Eq_X for implication
 	goal   func(*eq.Eq) bool // nil for satisfiability; Y ⊆ Eq_H for implication
 	high   func(int) bool    // GFD indexes with the highest unit priority

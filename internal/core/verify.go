@@ -17,7 +17,7 @@ type Violation struct {
 // III (actual attribute values, not the deduced Eq semantics), returning
 // the first violation found. It is the test oracle for the reasoning
 // algorithms and the checker applications use for error detection.
-func Satisfies(g *graph.Graph, set *gfd.Set) (bool, *Violation) {
+func Satisfies(g graph.Reader, set *gfd.Set) (bool, *Violation) {
 	for _, phi := range set.GFDs {
 		s := match.NewSearch(phi.Pattern, g, match.Options{})
 		for {
@@ -35,7 +35,7 @@ func Satisfies(g *graph.Graph, set *gfd.Set) (bool, *Violation) {
 
 // Violations enumerates every violation of Σ in G (error detection /
 // inconsistency catching, the paper's motivating application).
-func Violations(g *graph.Graph, set *gfd.Set) []Violation {
+func Violations(g graph.Reader, set *gfd.Set) []Violation {
 	var out []Violation
 	for _, phi := range set.GFDs {
 		s := match.NewSearch(phi.Pattern, g, match.Options{})
@@ -55,7 +55,7 @@ func Violations(g *graph.Graph, set *gfd.Set) []Violation {
 // holdsLiterals evaluates a literal set at a match against G's actual
 // attribute values: x.A = c holds iff attribute A exists at h(x) with value
 // c; x.A = y.B iff both attributes exist and are equal.
-func holdsLiterals(g *graph.Graph, h match.Assignment, ls []gfd.Literal) bool {
+func holdsLiterals(g graph.Reader, h match.Assignment, ls []gfd.Literal) bool {
 	for _, l := range ls {
 		switch l.Kind {
 		case gfd.ConstLiteral:
@@ -76,7 +76,7 @@ func holdsLiterals(g *graph.Graph, h match.Assignment, ls []gfd.Literal) bool {
 
 // IsModel reports whether G is a model of Σ: G |= Σ, G is nonempty, and
 // every pattern of Σ has at least one match in G (Section IV's definition).
-func IsModel(g *graph.Graph, set *gfd.Set) bool {
+func IsModel(g graph.Reader, set *gfd.Set) bool {
 	if g.NumNodes() == 0 {
 		return false
 	}

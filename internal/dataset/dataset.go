@@ -163,7 +163,23 @@ type GraphConfig struct {
 // a function of its label for a subset of attributes, so functional
 // dependencies genuinely hold and can be mined).
 func (p *Profile) SampleGraph(cfg GraphConfig) *graph.Graph {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+	p.sampleInto(g, cfg.withDefaults())
+	return g
+}
+
+// SampleFrozen is SampleGraph through the bulk-load path: the same
+// synthesis (identical per seed) appended into a graph.Builder and frozen
+// into the immutable CSR snapshot — the representation to pick when the
+// sample is only read (matching, mining, validation benchmarks).
+func (p *Profile) SampleFrozen(cfg GraphConfig) *graph.Frozen {
+	cfg = cfg.withDefaults()
+	b := graph.NewBuilder(cfg.Nodes * cfg.EdgesPerNode)
+	p.sampleInto(b, cfg)
+	return b.Freeze()
+}
+
+func (cfg GraphConfig) withDefaults() GraphConfig {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1000
 	}
@@ -176,7 +192,13 @@ func (p *Profile) SampleGraph(cfg GraphConfig) *graph.Graph {
 	if cfg.Values <= 0 {
 		cfg.Values = 8
 	}
-	g := graph.New()
+	return cfg
+}
+
+// sampleInto synthesizes the profile sample into either build target.
+// cfg must already be normalized via withDefaults.
+func (p *Profile) sampleInto(g graph.Sink, cfg GraphConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	labelIdx := make([]int, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		li := zipfIndex(rng, len(p.NodeLabels), p.Zipf)
@@ -214,5 +236,4 @@ func (p *Profile) SampleGraph(cfg GraphConfig) *graph.Graph {
 			g.AddEdge(graph.NodeID(i), to, el)
 		}
 	}
-	return g
 }

@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"fmt"
+
 	"testing"
 
 	"repro/internal/graph"
@@ -104,6 +106,38 @@ func TestZipfIndexBounds(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("unknown label %q in sampled graph", l)
+		}
+	}
+}
+
+// TestSampleFrozenEquivalence pins the Builder wiring: for the same
+// profile, config and seed, SampleFrozen carries exactly the graph
+// SampleGraph produces — including under the zero-value defaults, which
+// exercise the capacity-hint normalization.
+func TestSampleFrozenEquivalence(t *testing.T) {
+	p := DBpedia()
+	for _, cfg := range []GraphConfig{
+		{Nodes: 60, EdgesPerNode: 4, Seed: 3},
+		{Seed: 5}, // defaults: 1000 nodes x 3 edges
+	} {
+		g := p.SampleGraph(cfg)
+		f := p.SampleFrozen(cfg)
+		if g.NumNodes() != f.NumNodes() || g.NumEdges() != f.NumEdges() {
+			t.Fatalf("cfg %+v: cardinalities diverge: mutable (%d,%d) frozen (%d,%d)",
+				cfg, g.NumNodes(), g.NumEdges(), f.NumNodes(), f.NumEdges())
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			id := graph.NodeID(v)
+			if g.Label(id) != f.Label(id) {
+				t.Fatalf("cfg %+v: label of %d diverges", cfg, v)
+			}
+			if fmt.Sprint(g.Attrs(id)) != fmt.Sprint(f.Attrs(id)) {
+				t.Fatalf("cfg %+v: attrs of %d diverge", cfg, v)
+			}
+			mo, fo := g.OutByLabel(id, graph.Wildcard), f.OutByLabel(id, graph.Wildcard)
+			if fmt.Sprint(mo) != fmt.Sprint(fo) {
+				t.Fatalf("cfg %+v: adjacency of %d diverges: %v vs %v", cfg, v, mo, fo)
+			}
 		}
 	}
 }

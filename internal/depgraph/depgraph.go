@@ -285,7 +285,7 @@ type Unit struct {
 // component), so candidate pairs are enumerated through a pivot index
 // rather than all unit pairs, and the Feeds relation is memoized per GFD
 // pair.
-func UnitDeps(units []Unit, it *Interaction, g *graph.Graph, radii []int) [][]int {
+func UnitDeps(units []Unit, it *Interaction, g graph.Reader, radii []int) [][]int {
 	adj := make([][]int, len(units))
 	byPivot := make(map[graph.NodeID][]int)
 	for i, u := range units {

@@ -61,7 +61,7 @@ type triple struct {
 }
 
 // Mine discovers a set of GFDs that hold on g.
-func Mine(g *graph.Graph, cfg Config) *gfd.Set {
+func Mine(g graph.Reader, cfg Config) *gfd.Set {
 	cfg = cfg.withDefaults()
 	freq := frequentTriples(g, cfg.MinSupport)
 	patterns := growPatterns(freq, cfg)
@@ -89,7 +89,7 @@ func Mine(g *graph.Graph, cfg Config) *gfd.Set {
 
 // frequentTriples counts (srcLabel, edgeLabel, dstLabel) occurrences and
 // returns those meeting the support threshold, most frequent first.
-func frequentTriples(g *graph.Graph, minSupport int) []triple {
+func frequentTriples(g graph.Reader, minSupport int) []triple {
 	counts := make(map[triple]int)
 	for v := 0; v < g.NumNodes(); v++ {
 		for _, e := range g.Out(graph.NodeID(v)) {
@@ -165,7 +165,7 @@ func growPatterns(freq []triple, cfg Config) []*pattern.Pattern {
 }
 
 // sampleMatches enumerates up to limit matches of p in g.
-func sampleMatches(p *pattern.Pattern, g *graph.Graph, limit int) []match.Assignment {
+func sampleMatches(p *pattern.Pattern, g graph.Reader, limit int) []match.Assignment {
 	s := match.NewSearch(p, g, match.Options{})
 	var out []match.Assignment
 	for len(out) < limit {
@@ -180,7 +180,7 @@ func sampleMatches(p *pattern.Pattern, g *graph.Graph, limit int) []match.Assign
 
 // induceRules derives dependencies that hold on every sampled match and
 // validates them on the full graph.
-func induceRules(p *pattern.Pattern, g *graph.Graph, ms []match.Assignment, cfg Config) []*gfd.GFD {
+func induceRules(p *pattern.Pattern, g graph.Reader, ms []match.Assignment, cfg Config) []*gfd.GFD {
 	var rules []*gfd.GFD
 	attrsOf := func(v pattern.Var) []string {
 		// Attributes present at every match image of v.
@@ -243,7 +243,7 @@ func induceRules(p *pattern.Pattern, g *graph.Graph, ms []match.Assignment, cfg 
 // mineDependency looks at the value pairs of (x.A, y.B) across matches and
 // emits an equality rule when always equal, or conditional rules when x.A's
 // value functionally determines y.B's.
-func mineDependency(p *pattern.Pattern, g *graph.Graph, ms []match.Assignment, x pattern.Var, a string, y pattern.Var, b string, cfg Config, validate func(*gfd.GFD) bool) []*gfd.GFD {
+func mineDependency(p *pattern.Pattern, g graph.Reader, ms []match.Assignment, x pattern.Var, a string, y pattern.Var, b string, cfg Config, validate func(*gfd.GFD) bool) []*gfd.GFD {
 	equal := true
 	determines := true
 	image := make(map[string]string)
@@ -300,7 +300,7 @@ func clonePattern(p *pattern.Pattern) *pattern.Pattern {
 
 // satisfies is a local copy of the model-check oracle to avoid importing
 // core (which would invert the dependency layering).
-func satisfies(g *graph.Graph, phi *gfd.GFD) (bool, match.Assignment) {
+func satisfies(g graph.Reader, phi *gfd.GFD) (bool, match.Assignment) {
 	s := match.NewSearch(phi.Pattern, g, match.Options{})
 	for {
 		h, ok := s.Next()
@@ -313,7 +313,7 @@ func satisfies(g *graph.Graph, phi *gfd.GFD) (bool, match.Assignment) {
 	}
 }
 
-func holds(g *graph.Graph, h match.Assignment, ls []gfd.Literal) bool {
+func holds(g graph.Reader, h match.Assignment, ls []gfd.Literal) bool {
 	for _, l := range ls {
 		switch l.Kind {
 		case gfd.ConstLiteral:

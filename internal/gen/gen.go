@@ -490,31 +490,51 @@ func (g *Generator) NonImpliedGFD() *gfd.GFD {
 }
 
 // ConsistentGraph materializes a data graph where every node's attributes
-// follow W — a model-like graph for the mined-GFD scenario.
+// follow W — a model-like graph for the mined-GFD scenario. The mutable
+// representation is the default for these small workloads; see
+// ConsistentFrozen for the bulk-load variant.
 func (g *Generator) ConsistentGraph(nodes int) *graph.Graph {
-	gr, labels := g.consistentNodes(nodes)
-	for i := 0; i < nodes; i++ {
+	gr := graph.New()
+	labels := g.consistentNodes(gr, nodes)
+	g.consistentEdges(gr, labels)
+	return gr
+}
+
+// ConsistentFrozen is ConsistentGraph through the bulk-load path: the same
+// synthesis (identical for the same generator state) appended into a
+// graph.Builder and frozen into an immutable CSR snapshot.
+func (g *Generator) ConsistentFrozen(nodes int) *graph.Frozen {
+	b := graph.NewBuilder(0)
+	labels := g.consistentNodes(b, nodes)
+	g.consistentEdges(b, labels)
+	return b.Freeze()
+}
+
+// consistentEdges links each node along the frequent-edge schema to the
+// first node carrying the destination label.
+func (g *Generator) consistentEdges(gr graph.Sink, labels []string) {
+	first := make(map[string]graph.NodeID, 8)
+	for i, l := range labels {
+		if _, ok := first[l]; !ok {
+			first[l] = graph.NodeID(i)
+		}
+	}
+	for i := range labels {
 		for _, fe := range g.frequentEdges {
 			if fe[0] != labels[i] {
 				continue
 			}
-			// Link to some node with the destination label, if any.
-			for j := 0; j < nodes; j++ {
-				if labels[j] == fe[2] {
-					gr.AddEdge(graph.NodeID(i), graph.NodeID(j), fe[1])
-					break
-				}
+			if j, ok := first[fe[2]]; ok {
+				gr.AddEdge(graph.NodeID(i), j, fe[1])
 			}
 		}
 	}
-	return gr
 }
 
-// consistentNodes allocates nodes carrying profile labels and W-consistent
-// attribute values — the shared substrate of ConsistentGraph and DenseGraph.
-// It returns the edge-less graph plus each node's label.
-func (g *Generator) consistentNodes(nodes int) (*graph.Graph, []string) {
-	gr := graph.New()
+// consistentNodes appends nodes carrying profile labels and W-consistent
+// attribute values into the build target — the shared substrate of the
+// Consistent/Dense materializations. It returns each node's label.
+func (g *Generator) consistentNodes(gr graph.Sink, nodes int) []string {
 	labels := make([]string, nodes)
 	for i := 0; i < nodes; i++ {
 		labels[i] = g.headLabel()
@@ -529,7 +549,7 @@ func (g *Generator) consistentNodes(nodes int) (*graph.Graph, []string) {
 			}
 		}
 	}
-	return gr, labels
+	return labels
 }
 
 // DenseGraph materializes a consistent data graph like ConsistentGraph but
@@ -540,12 +560,33 @@ func (g *Generator) consistentNodes(nodes int) (*graph.Graph, []string) {
 // candidate set and every node a fat multi-label adjacency — the workload
 // where matching cost is dominated by adjacency filtering.
 func (g *Generator) DenseGraph(nodes, degree int) *graph.Graph {
-	gr, labels := g.consistentNodes(nodes)
+	gr := graph.New()
+	labels := g.consistentNodes(gr, nodes)
+	g.denseEdges(gr, labels, degree)
+	return gr
+}
+
+// DenseFrozen is DenseGraph through the bulk-load path: O(1) edge appends
+// into a graph.Builder, sorted once at Freeze. Given the same generator
+// state it draws the same nodes and edges as DenseGraph (pinned by the
+// equivalence tests), making it the materialization for read-only
+// consumers of large dense workloads. The comparison benchmarks instead
+// snapshot one DenseGraph via Graph.Frozen, since both modes there must
+// measure the identical RNG draw.
+func (g *Generator) DenseFrozen(nodes, degree int) *graph.Frozen {
+	b := graph.NewBuilder(nodes * degree)
+	labels := g.consistentNodes(b, nodes)
+	g.denseEdges(b, labels, degree)
+	return b.Freeze()
+}
+
+// denseEdges draws the label-dense edge set into the build target.
+func (g *Generator) denseEdges(gr graph.Sink, labels []string, degree int) {
 	byLabel := make(map[string][]graph.NodeID, 8)
 	for i, l := range labels {
 		byLabel[l] = append(byLabel[l], graph.NodeID(i))
 	}
-	for i := 0; i < nodes; i++ {
+	for i := range labels {
 		var fes [][3]string
 		for _, fe := range g.frequentEdges {
 			if fe[0] == labels[i] && len(byLabel[fe[2]]) > 0 {
@@ -561,5 +602,4 @@ func (g *Generator) DenseGraph(nodes, degree int) *graph.Graph {
 			gr.AddEdge(graph.NodeID(i), targets[g.rng.Intn(len(targets))], fe[1])
 		}
 	}
-	return gr
 }

@@ -33,9 +33,30 @@ import (
 	"repro/internal/pattern"
 )
 
-// ReadGraph parses the graph format.
+// ReadGraph parses the graph format into a mutable graph.
 func ReadGraph(r io.Reader) (*graph.Graph, error) {
 	g := graph.New()
+	if err := readGraphInto(r, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadFrozenGraph parses the graph format through the bulk-load path —
+// O(1) edge appends into a graph.Builder, one sort at Freeze — and returns
+// the immutable CSR snapshot. This is the fast ingest route for large
+// read-only graphs (validation, discovery); ReadGraph stays the choice when
+// the result must remain editable.
+func ReadFrozenGraph(r io.Reader) (*graph.Frozen, error) {
+	b := graph.NewBuilder(0)
+	if err := readGraphInto(r, b); err != nil {
+		return nil, err
+	}
+	return b.Freeze(), nil
+}
+
+// readGraphInto parses the graph format into any build target.
+func readGraphInto(r io.Reader, g graph.Sink) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -49,48 +70,48 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 		switch fields[0] {
 		case "node":
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("line %d: node needs id and label", lineNo)
+				return fmt.Errorf("line %d: node needs id and label", lineNo)
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("line %d: bad node id %q", lineNo, fields[1])
+				return fmt.Errorf("line %d: bad node id %q", lineNo, fields[1])
 			}
 			if id != g.NumNodes() {
-				return nil, fmt.Errorf("line %d: node ids must be dense and ordered; got %d, want %d", lineNo, id, g.NumNodes())
+				return fmt.Errorf("line %d: node ids must be dense and ordered; got %d, want %d", lineNo, id, g.NumNodes())
 			}
 			nid := g.AddNode(fields[2])
 			for _, kv := range fields[3:] {
 				eq := strings.IndexByte(kv, '=')
 				if eq <= 0 {
-					return nil, fmt.Errorf("line %d: bad attribute %q", lineNo, kv)
+					return fmt.Errorf("line %d: bad attribute %q", lineNo, kv)
 				}
 				g.SetAttr(nid, kv[:eq], kv[eq+1:])
 			}
 		case "edge":
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("line %d: edge needs from, to, label", lineNo)
+				return fmt.Errorf("line %d: edge needs from, to, label", lineNo)
 			}
 			from, err1 := strconv.Atoi(fields[1])
 			to, err2 := strconv.Atoi(fields[2])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("line %d: bad edge endpoints", lineNo)
+				return fmt.Errorf("line %d: bad edge endpoints", lineNo)
 			}
 			if from < 0 || from >= g.NumNodes() || to < 0 || to >= g.NumNodes() {
-				return nil, fmt.Errorf("line %d: edge endpoint out of range", lineNo)
+				return fmt.Errorf("line %d: edge endpoint out of range", lineNo)
 			}
 			g.AddEdge(graph.NodeID(from), graph.NodeID(to), fields[3])
 		default:
-			return nil, fmt.Errorf("line %d: unknown statement %q", lineNo, fields[0])
+			return fmt.Errorf("line %d: unknown statement %q", lineNo, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	return g, nil
+	return nil
 }
 
-// WriteGraph emits the graph format.
-func WriteGraph(w io.Writer, g *graph.Graph) error {
+// WriteGraph emits the graph format from either representation.
+func WriteGraph(w io.Writer, g graph.Reader) error {
 	bw := bufio.NewWriter(w)
 	for i := 0; i < g.NumNodes(); i++ {
 		id := graph.NodeID(i)

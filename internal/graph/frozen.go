@@ -1,0 +1,587 @@
+// Freeze-time CSR snapshots. The mutable Graph keeps its label-keyed
+// adjacency sorted incrementally, which costs an O(deg) shift per AddEdge at
+// hub nodes — fine for small or incremental workloads, a bottleneck for bulk
+// ingest of large graphs. Builder+Frozen trade a build phase for dense array
+// scans: the Builder appends edges unsorted in O(1) each, and Freeze sorts
+// once per node (O(E log deg) total) into compressed sparse rows, yielding
+// an immutable snapshot that serves the whole Reader API from a handful of
+// flat arrays.
+package graph
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// Builder accumulates nodes and edges for a Frozen snapshot. Unlike
+// Graph.AddEdge, Builder.AddEdge is O(1): no index maintenance, no
+// duplicate suppression (duplicates are collapsed at Freeze, preserving
+// AddEdge's idempotence per (from, label, to)). The zero value is not
+// usable; construct with NewBuilder.
+type Builder struct {
+	nodes          []Node
+	nodeLabelIDs   map[string]LabelID
+	nodeLabelNames []string
+	nodeLabelOf    []LabelID
+	labelIDs       map[string]LabelID
+	labelNames     []string
+	from, to       []NodeID
+	lab            []LabelID
+	frozen         bool
+}
+
+// NewBuilder returns an empty builder, optionally pre-sizing its edge
+// arrays for the expected edge count (0 is fine).
+func NewBuilder(edgeHint int) *Builder {
+	b := &Builder{
+		nodeLabelIDs: make(map[string]LabelID),
+		labelIDs:     make(map[string]LabelID),
+	}
+	if edgeHint > 0 {
+		b.from = make([]NodeID, 0, edgeHint)
+		b.to = make([]NodeID, 0, edgeHint)
+		b.lab = make([]LabelID, 0, edgeHint)
+	}
+	return b
+}
+
+// AddNode appends a node with the given label and returns its ID.
+func (b *Builder) AddNode(label string) NodeID {
+	if b.frozen {
+		panic("graph: Builder.AddNode after Freeze")
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Label: label})
+	lid, ok := b.nodeLabelIDs[label]
+	if !ok {
+		lid = LabelID(len(b.nodeLabelNames))
+		b.nodeLabelIDs[label] = lid
+		b.nodeLabelNames = append(b.nodeLabelNames, label)
+	}
+	b.nodeLabelOf = append(b.nodeLabelOf, lid)
+	return id
+}
+
+// AddNodeWithAttrs appends a node carrying the given attribute tuple.
+// The map is copied.
+func (b *Builder) AddNodeWithAttrs(label string, attrs map[string]string) NodeID {
+	id := b.AddNode(label)
+	for k, v := range attrs {
+		b.SetAttr(id, k, v)
+	}
+	return id
+}
+
+// SetAttr sets attribute A of node v to constant value c.
+func (b *Builder) SetAttr(v NodeID, attr, value string) {
+	if b.frozen {
+		panic("graph: Builder.SetAttr after Freeze")
+	}
+	if v < 0 || int(v) >= len(b.nodes) {
+		panic(fmt.Sprintf("graph: Builder.SetAttr on invalid node %d", v))
+	}
+	n := &b.nodes[v]
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string)
+	}
+	n.Attrs[attr] = value
+}
+
+// AddEdge appends a directed labeled edge in O(1). Duplicate
+// (from, label, to) triples are tolerated and collapsed at Freeze.
+func (b *Builder) AddEdge(from, to NodeID, label string) {
+	if b.frozen {
+		panic("graph: Builder.AddEdge after Freeze")
+	}
+	if from < 0 || int(from) >= len(b.nodes) || to < 0 || int(to) >= len(b.nodes) {
+		panic(fmt.Sprintf("graph: Builder.AddEdge with invalid endpoint %d->%d", from, to))
+	}
+	id, ok := b.labelIDs[label]
+	if !ok {
+		id = LabelID(len(b.labelNames))
+		b.labelIDs[label] = id
+		b.labelNames = append(b.labelNames, label)
+	}
+	b.from = append(b.from, from)
+	b.to = append(b.to, to)
+	b.lab = append(b.lab, id)
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// NumEdges returns the number of AddEdge calls so far. Duplicates are not
+// yet collapsed; the Frozen snapshot's NumEdges counts distinct edges.
+func (b *Builder) NumEdges() int { return len(b.from) }
+
+// Graph materializes the builder's contents as a mutable *Graph by
+// replaying the nodes and edges through the incremental ingest path. Use it
+// when the result must stay editable; use Freeze for read-only workloads.
+func (b *Builder) Graph() *Graph {
+	g := New()
+	for i := range b.nodes {
+		n := &b.nodes[i]
+		id := g.AddNode(n.Label)
+		for k, v := range n.Attrs {
+			g.SetAttr(id, k, v)
+		}
+	}
+	for i := range b.from {
+		g.AddEdge(b.from[i], b.to[i], b.labelNames[b.lab[i]])
+	}
+	return g
+}
+
+// Freeze sorts the accumulated edges into an immutable CSR snapshot and
+// returns it. The builder is consumed: the snapshot shares the builder's
+// node and label storage, and further Add/Set calls panic. Total cost is
+// O(V + E log deg): one counting pass, one scatter, and one sort per
+// node's adjacency run.
+func (b *Builder) Freeze() *Frozen {
+	if b.frozen {
+		panic("graph: Builder.Freeze called twice")
+	}
+	b.frozen = true
+	f := &Frozen{
+		nodes:          b.nodes,
+		nodeLabelIDs:   b.nodeLabelIDs,
+		nodeLabelNames: b.nodeLabelNames,
+		nodeLabelOf:    b.nodeLabelOf,
+		labelIDs:       b.labelIDs,
+		labelNames:     b.labelNames,
+	}
+	f.out = buildCSR(len(b.nodes), b.from, b.to, b.lab)
+	f.in = buildCSR(len(b.nodes), b.to, b.from, b.lab)
+	f.edges = len(f.out.targets)
+
+	// Nodes-by-label CSR: node IDs ascend within each label because nodes
+	// are scattered in ID order.
+	nl := len(b.nodeLabelNames)
+	f.byLabelOff = make([]int32, nl+1)
+	for _, lid := range b.nodeLabelOf {
+		f.byLabelOff[lid+1]++
+	}
+	for i := 0; i < nl; i++ {
+		f.byLabelOff[i+1] += f.byLabelOff[i]
+	}
+	f.byLabelNodes = make([]NodeID, len(b.nodes))
+	next := make([]int32, nl)
+	copy(next, f.byLabelOff[:nl])
+	for v, lid := range b.nodeLabelOf {
+		f.byLabelNodes[next[lid]] = NodeID(v)
+		next[lid]++
+	}
+	return f
+}
+
+// csrKey packs (label, target) into one comparable integer so a node's
+// adjacency run sorts with a single flat-array sort. This bounds Frozen
+// graphs at 2^32 nodes and 2^32 edge labels — far beyond NodeID's dense-int
+// practical range.
+func csrKey(lab LabelID, to NodeID) uint64 {
+	return uint64(uint32(lab))<<32 | uint64(uint32(to))
+}
+
+// buildCSR lays one direction of adjacency out as compressed sparse rows:
+// counting sort by source node, then per-node sort by (label, target) with
+// adjacent-duplicate collapse, a per-node directory of distinct-label runs,
+// plus the target-sorted "all" view wildcard queries read.
+func buildCSR(n int, src, dst []NodeID, lab []LabelID) csrDir {
+	off := make([]int32, n+1)
+	for _, s := range src {
+		off[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	keys := make([]uint64, len(src))
+	next := make([]int32, n)
+	copy(next, off[:n])
+	for i, s := range src {
+		keys[next[s]] = csrKey(lab[i], dst[i])
+		next[s]++
+	}
+
+	d := csrDir{
+		off:     make([]int32, n+1),
+		dirOff:  make([]int32, n+1),
+		targets: make([]NodeID, 0, len(src)),
+		all:     make([]NodeID, 0, len(src)),
+	}
+	for v := 0; v < n; v++ {
+		run := keys[off[v]:off[v+1]]
+		slices.Sort(run)
+		start := len(d.targets)
+		for i, k := range run {
+			if i > 0 && k == run[i-1] {
+				continue // duplicate (from, label, to): AddEdge idempotence
+			}
+			l := LabelID(uint32(k >> 32))
+			if nd := len(d.dirLabels); nd == int(d.dirOff[v]) || d.dirLabels[nd-1] != l {
+				d.dirLabels = append(d.dirLabels, l)
+				d.dirStart = append(d.dirStart, int32(len(d.targets)))
+			}
+			d.targets = append(d.targets, NodeID(uint32(k)))
+		}
+		d.all = append(d.all, d.targets[start:]...)
+		slices.Sort(d.all[start:])
+		d.off[v+1] = int32(len(d.targets))
+		d.dirOff[v+1] = int32(len(d.dirLabels))
+	}
+	return d
+}
+
+// csrDir is one direction of frozen adjacency. For node v, the half-open
+// run [off[v], off[v+1]) of targets holds the endpoints sorted by
+// (label, target) — each label's endpoints are a contiguous ascending
+// sub-run — and the same span of all holds them sorted by target only, the
+// wildcard-query view (a target repeats when parallel edges differ only in
+// label, mirroring the mutable index). The directory run
+// [dirOff[v], dirOff[v+1]) lists v's distinct labels with each sub-run's
+// start offset into targets, so a label query is the same short linear
+// scan over distinct labels the mutable index does — a node's distinct
+// incident labels are few.
+type csrDir struct {
+	off     []int32
+	targets []NodeID
+	all     []NodeID
+
+	dirOff    []int32
+	dirLabels []LabelID
+	dirStart  []int32
+}
+
+// byLabel returns the ascending endpoint run for one label query.
+func (d *csrDir) byLabel(v NodeID, id LabelID) []NodeID {
+	switch id {
+	case AnyLabel:
+		return d.all[d.off[v]:d.off[v+1]]
+	case NoLabel:
+		return nil
+	}
+	dlo, dhi := int(d.dirOff[v]), int(d.dirOff[v+1])
+	for i := dlo; i < dhi; i++ {
+		if d.dirLabels[i] == id {
+			end := d.off[v+1]
+			if i+1 < dhi {
+				end = d.dirStart[i+1]
+			}
+			return d.targets[d.dirStart[i]:end]
+		}
+	}
+	return nil
+}
+
+// has reports whether the run for id contains target t: one directory scan
+// plus a binary search, O(log deg), no hashing.
+func (d *csrDir) has(v, t NodeID, id LabelID) bool {
+	list := d.byLabel(v, id)
+	i, j := 0, len(list)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if list[m] < t {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i < len(list) && list[i] == t
+}
+
+// Frozen is an immutable CSR snapshot of a graph, produced by
+// Builder.Freeze (or Graph.Frozen). It serves the full Reader API —
+// label-partitioned adjacency, O(log deg) edge probes, signature covers,
+// node-label candidates — from flat arrays with no per-query allocation
+// (except the documented copying accessors). Being immutable it is safe for
+// concurrent readers.
+type Frozen struct {
+	nodes          []Node
+	nodeLabelIDs   map[string]LabelID
+	nodeLabelNames []string
+	nodeLabelOf    []LabelID
+	labelIDs       map[string]LabelID
+	labelNames     []string
+	edges          int
+
+	out csrDir
+	in  csrDir
+
+	byLabelOff   []int32
+	byLabelNodes []NodeID
+}
+
+// Frozen returns an immutable CSR snapshot of g's current contents, built
+// by replaying g through a Builder. The snapshot is independent of g except
+// for attribute value strings.
+func (g *Graph) Frozen() *Frozen {
+	b := NewBuilder(g.NumEdges())
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		id := b.AddNode(n.Label)
+		for k, v := range n.Attrs {
+			b.SetAttr(id, k, v)
+		}
+	}
+	for v := range g.out {
+		for _, e := range g.out[v] {
+			b.AddEdge(e.From, e.To, e.Label)
+		}
+	}
+	return b.Freeze()
+}
+
+func (f *Frozen) valid(v NodeID) bool { return v >= 0 && int(v) < len(f.nodes) }
+
+// NumNodes returns |V|.
+func (f *Frozen) NumNodes() int { return len(f.nodes) }
+
+// NumEdges returns |E| (distinct (from, label, to) triples).
+func (f *Frozen) NumEdges() int { return f.edges }
+
+// Label returns the label of node v.
+func (f *Frozen) Label(v NodeID) string { return f.nodes[v].Label }
+
+// Attr reports the value of attribute A at node v and whether it exists.
+func (f *Frozen) Attr(v NodeID, attr string) (string, bool) {
+	if !f.valid(v) {
+		return "", false
+	}
+	val, ok := f.nodes[v].Attrs[attr]
+	return val, ok
+}
+
+// Attrs returns the attribute tuple of v (nil if none). The returned map is
+// the snapshot's own storage; callers must not mutate it.
+func (f *Frozen) Attrs(v NodeID) map[string]string {
+	if !f.valid(v) {
+		return nil
+	}
+	return f.nodes[v].Attrs
+}
+
+// Size returns |G| counting nodes, edges, attributes and their values.
+func (f *Frozen) Size() int {
+	s := len(f.nodes) + f.edges
+	for i := range f.nodes {
+		s += len(f.nodes[i].Attrs)
+	}
+	return s
+}
+
+// Out returns the outgoing edges of v. The slice is synthesized per call
+// (labels re-materialized as strings); hot paths use OutByLabelID.
+func (f *Frozen) Out(v NodeID) []Edge {
+	if !f.valid(v) {
+		return nil
+	}
+	es := make([]Edge, 0, f.out.off[v+1]-f.out.off[v])
+	f.synthesize(&f.out, v, func(l string, t NodeID) {
+		es = append(es, Edge{From: v, To: t, Label: l})
+	})
+	return es
+}
+
+// In returns the incoming edges of v, synthesized per call like Out.
+func (f *Frozen) In(v NodeID) []Edge {
+	if !f.valid(v) {
+		return nil
+	}
+	es := make([]Edge, 0, f.in.off[v+1]-f.in.off[v])
+	f.synthesize(&f.in, v, func(l string, t NodeID) {
+		es = append(es, Edge{From: t, To: v, Label: l})
+	})
+	return es
+}
+
+// synthesize walks one node's directory runs, handing each (label string,
+// endpoint) pair to emit.
+func (f *Frozen) synthesize(d *csrDir, v NodeID, emit func(string, NodeID)) {
+	dlo, dhi := int(d.dirOff[v]), int(d.dirOff[v+1])
+	for i := dlo; i < dhi; i++ {
+		end := d.off[v+1]
+		if i+1 < dhi {
+			end = d.dirStart[i+1]
+		}
+		name := f.labelNames[d.dirLabels[i]]
+		for _, t := range d.targets[d.dirStart[i]:end] {
+			emit(name, t)
+		}
+	}
+}
+
+// EdgeLabelID resolves an edge label to its interned ID: AnyLabel for the
+// Wildcard, NoLabel for labels absent from the graph.
+func (f *Frozen) EdgeLabelID(label string) LabelID {
+	if label == Wildcard {
+		return AnyLabel
+	}
+	if id, ok := f.labelIDs[label]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// NodeLabelID resolves a node label to its interned ID, with the same
+// wildcard semantics as Graph.NodeLabelID.
+func (f *Frozen) NodeLabelID(label string) LabelID {
+	if label == Wildcard {
+		return AnyLabel
+	}
+	if id, ok := f.nodeLabelIDs[label]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// LabelIDOf returns the interned ID of node v's label.
+func (f *Frozen) LabelIDOf(v NodeID) LabelID { return f.nodeLabelOf[v] }
+
+// ResolveLabels maps a label list through EdgeLabelID.
+func (f *Frozen) ResolveLabels(labels []string) []LabelID {
+	if len(labels) == 0 {
+		return nil
+	}
+	ids := make([]LabelID, len(labels))
+	for i, l := range labels {
+		ids[i] = f.EdgeLabelID(l)
+	}
+	return ids
+}
+
+// Labels returns the distinct node labels in deterministic order.
+func (f *Frozen) Labels() []string {
+	ls := append([]string(nil), f.nodeLabelNames...)
+	sort.Strings(ls)
+	return ls
+}
+
+// HasEdge reports whether edge (from,to) with the given label exists, with
+// Wildcard matching any label.
+func (f *Frozen) HasEdge(from, to NodeID, label string) bool {
+	return f.HasEdgeID(from, to, f.EdgeLabelID(label))
+}
+
+// HasEdgeID is HasEdge with a pre-resolved label ID: binary search within
+// from's label run, O(log deg), no hashing.
+func (f *Frozen) HasEdgeID(from, to NodeID, id LabelID) bool {
+	if !f.valid(from) || id == NoLabel {
+		return false
+	}
+	return f.out.has(from, to, id)
+}
+
+// OutByLabel returns the targets of v's outgoing edges carrying the given
+// label, in ascending NodeID order, with Graph.OutByLabel's wildcard and
+// aliasing semantics.
+func (f *Frozen) OutByLabel(v NodeID, label string) []NodeID {
+	return f.OutByLabelID(v, f.EdgeLabelID(label))
+}
+
+// OutByLabelID is OutByLabel with a pre-resolved label ID.
+func (f *Frozen) OutByLabelID(v NodeID, id LabelID) []NodeID {
+	if !f.valid(v) {
+		return nil
+	}
+	return f.out.byLabel(v, id)
+}
+
+// InByLabel returns the sources of v's incoming edges carrying the given
+// label, with the same semantics as OutByLabel.
+func (f *Frozen) InByLabel(v NodeID, label string) []NodeID {
+	return f.InByLabelID(v, f.EdgeLabelID(label))
+}
+
+// InByLabelID is InByLabel with a pre-resolved label ID.
+func (f *Frozen) InByLabelID(v NodeID, id LabelID) []NodeID {
+	if !f.valid(v) {
+		return nil
+	}
+	return f.in.byLabel(v, id)
+}
+
+// nodesWithLabel returns the internal ascending run of nodes carrying
+// exactly the given label.
+func (f *Frozen) nodesWithLabel(label string) []NodeID {
+	id, ok := f.nodeLabelIDs[label]
+	if !ok {
+		return nil
+	}
+	return f.byLabelNodes[f.byLabelOff[id]:f.byLabelOff[id+1]]
+}
+
+// NodesByLabel returns the IDs of nodes carrying exactly the given label,
+// as a fresh copy owned by the caller (see Reader's contract). It does not
+// apply wildcard semantics; see CandidateNodes.
+func (f *Frozen) NodesByLabel(label string) []NodeID {
+	run := f.nodesWithLabel(label)
+	if run == nil {
+		return nil
+	}
+	return append([]NodeID(nil), run...)
+}
+
+// CandidateNodes returns the nodes a pattern node with the given label may
+// match, as a fresh copy owned by the caller: all nodes for the wildcard,
+// else the nodes with that exact label.
+func (f *Frozen) CandidateNodes(label string) []NodeID {
+	return f.AppendCandidates(nil, label)
+}
+
+// AppendCandidates appends CandidateNodes(label) into dst without any other
+// allocation.
+func (f *Frozen) AppendCandidates(dst []NodeID, label string) []NodeID {
+	if label == Wildcard {
+		for i := range f.nodes {
+			dst = append(dst, NodeID(i))
+		}
+		return dst
+	}
+	return append(dst, f.nodesWithLabel(label)...)
+}
+
+// LabelFrequency returns the number of nodes carrying the label, with
+// wildcard counting every node.
+func (f *Frozen) LabelFrequency(label string) int {
+	if label == Wildcard {
+		return len(f.nodes)
+	}
+	return len(f.nodesWithLabel(label))
+}
+
+// Covers reports whether node v's adjacency covers the signature; see
+// Graph.Covers.
+func (f *Frozen) Covers(v NodeID, sig Signature) bool {
+	return f.CoversIDs(v, f.ResolveLabels(sig.Out), f.ResolveLabels(sig.In))
+}
+
+// CoversIDs is Covers with pre-resolved label IDs. Each probe is a binary
+// search over v's label directory, O(|sig| log deg) total.
+func (f *Frozen) CoversIDs(v NodeID, outIDs, inIDs []LabelID) bool {
+	if !f.valid(v) {
+		return false
+	}
+	for _, id := range outIDs {
+		if len(f.out.byLabel(v, id)) == 0 {
+			return false
+		}
+	}
+	for _, id := range inIDs {
+		if len(f.in.byLabel(v, id)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighborhood returns the set of nodes within d hops of v, treating edges
+// as undirected; see Graph.Neighborhood.
+func (f *Frozen) Neighborhood(v NodeID, d int) map[NodeID]bool {
+	return neighborhood(f, v, d)
+}
+
+// UndirectedDistance returns the number of hops between u and v ignoring
+// edge direction, or -1 if disconnected; see Graph.UndirectedDistance.
+func (f *Frozen) UndirectedDistance(u, v NodeID) int {
+	return undirectedDistance(f, u, v)
+}

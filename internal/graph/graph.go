@@ -88,8 +88,9 @@ func (a *labelAdj) add(id LabelID, n NodeID) {
 // tail fast path helps when endpoints arrive in ascending ID order (e.g.
 // in-lists during a Clone replay); arbitrary-order ingest pays an O(len)
 // shift, making index construction O(deg) per edge at a hub — acceptable
-// for the build-then-read workloads here, with a sort-at-freeze CSR
-// snapshot as the known open item for bulk loads (see DESIGN.md).
+// for small or incremental workloads. Bulk loads use Builder/Freeze
+// instead, which appends in O(1) and sorts once (see frozen.go and
+// DESIGN.md's two-representation storage layer).
 func insertSorted(list []NodeID, n NodeID) []NodeID {
 	if len(list) == 0 || list[len(list)-1] <= n {
 		return append(list, n)
@@ -356,23 +357,37 @@ func (g *Graph) InByLabelID(v NodeID, id LabelID) []NodeID {
 	return g.inIdx[v].endpoints(id)
 }
 
-// NodesByLabel returns the IDs of nodes carrying exactly the given label.
-// It does not apply wildcard semantics; see CandidateNodes.
-func (g *Graph) NodesByLabel(label string) []NodeID { return g.byLabel[label] }
+// NodesByLabel returns the IDs of nodes carrying exactly the given label,
+// in ascending order. Like CandidateNodes — and unlike earlier revisions,
+// which aliased the internal label index — the returned slice is always a
+// fresh copy owned by the caller, so callers may sort or compact it in
+// place (the Reader contract). It does not apply wildcard semantics; see
+// CandidateNodes. Allocation-sensitive paths use AppendCandidates instead.
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	if g.byLabel[label] == nil {
+		return nil
+	}
+	return append([]NodeID(nil), g.byLabel[label]...)
+}
 
 // CandidateNodes returns the nodes a pattern node with the given label may
 // match: all nodes for the wildcard, else the nodes with that exact label.
 // The returned slice is always a fresh copy owned by the caller, never the
 // graph's internal label index, so callers may sort or compact it in place.
 func (g *Graph) CandidateNodes(label string) []NodeID {
+	return g.AppendCandidates(nil, label)
+}
+
+// AppendCandidates appends CandidateNodes(label) into dst without any other
+// allocation: the hot-path variant for callers that recycle a buffer.
+func (g *Graph) AppendCandidates(dst []NodeID, label string) []NodeID {
 	if label == Wildcard {
-		all := make([]NodeID, len(g.nodes))
 		for i := range g.nodes {
-			all[i] = NodeID(i)
+			dst = append(dst, NodeID(i))
 		}
-		return all
+		return dst
 	}
-	return append([]NodeID(nil), g.byLabel[label]...)
+	return append(dst, g.byLabel[label]...)
 }
 
 // LabelFrequency returns the number of nodes carrying the label, with
@@ -482,64 +497,14 @@ func (g *Graph) Clone() *Graph {
 // as undirected (the d_Q-neighborhood of Section V-B). The result includes v
 // itself. Membership is returned as a map for O(1) containment tests.
 func (g *Graph) Neighborhood(v NodeID, d int) map[NodeID]bool {
-	seen := map[NodeID]bool{v: true}
-	frontier := []NodeID{v}
-	for hop := 0; hop < d && len(frontier) > 0; hop++ {
-		var next []NodeID
-		for _, u := range frontier {
-			for _, e := range g.out[u] {
-				if !seen[e.To] {
-					seen[e.To] = true
-					next = append(next, e.To)
-				}
-			}
-			for _, e := range g.in[u] {
-				if !seen[e.From] {
-					seen[e.From] = true
-					next = append(next, e.From)
-				}
-			}
-		}
-		frontier = next
-	}
-	return seen
+	return neighborhood(g, v, d)
 }
 
 // UndirectedDistance returns the number of hops between u and v ignoring
 // edge direction, or -1 if disconnected. Used when building the work-unit
 // dependency graph ("pivots within d_Q1 hops").
 func (g *Graph) UndirectedDistance(u, v NodeID) int {
-	if u == v {
-		return 0
-	}
-	dist := map[NodeID]int{u: 0}
-	frontier := []NodeID{u}
-	for len(frontier) > 0 {
-		var next []NodeID
-		for _, w := range frontier {
-			dw := dist[w]
-			for _, e := range g.out[w] {
-				if _, ok := dist[e.To]; !ok {
-					if e.To == v {
-						return dw + 1
-					}
-					dist[e.To] = dw + 1
-					next = append(next, e.To)
-				}
-			}
-			for _, e := range g.in[w] {
-				if _, ok := dist[e.From]; !ok {
-					if e.From == v {
-						return dw + 1
-					}
-					dist[e.From] = dw + 1
-					next = append(next, e.From)
-				}
-			}
-		}
-		frontier = next
-	}
-	return -1
+	return undirectedDistance(g, u, v)
 }
 
 // Subgraph returns the induced subgraph on the given node set, together with

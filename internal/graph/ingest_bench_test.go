@@ -1,0 +1,42 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// The benchmarks share bench.HubHeavyIngest + bench.IngestIncremental /
+// bench.IngestFrozen — the canonical hub-heavy bulk-ingest workload (80%
+// of 100k edges piled onto 16 hubs, shuffled order) and its two load
+// loops — with the CI regression gate (bench.RunCI), so the documented
+// ingest numbers and the gated freeze_ingest_speedup metric always
+// measure the same thing.
+
+// BenchmarkIncrementalIngest measures bulk load through the mutable path:
+// AddEdge maintains the sorted per-label adjacency incrementally, so hub
+// nodes pay an O(deg) shift per insert.
+func BenchmarkIncrementalIngest(b *testing.B) {
+	from, to, lab := bench.HubHeavyIngest(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := bench.IngestIncremental(from, to, lab); g.NumEdges() == 0 {
+			b.Fatal("ingest produced no edges")
+		}
+	}
+}
+
+// BenchmarkFreezeIngest measures the same bulk load through the Builder:
+// O(1) appends, one sort per adjacency run at Freeze. Compare against
+// BenchmarkIncrementalIngest for the bulk-load speedup.
+func BenchmarkFreezeIngest(b *testing.B) {
+	from, to, lab := bench.HubHeavyIngest(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := bench.IngestFrozen(from, to, lab); f.NumEdges() == 0 {
+			b.Fatal("ingest produced no edges")
+		}
+	}
+}

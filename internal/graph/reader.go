@@ -1,0 +1,153 @@
+package graph
+
+// Reader is the read API shared by the two graph representations: the
+// mutable *Graph (incremental AddEdge, sorted-insert adjacency) and the
+// immutable *Frozen (bulk-loaded CSR snapshot, see Builder). The matching,
+// simulation, reasoning and discovery layers are written against Reader, so
+// they run unmodified on either representation; mutation (AddNode, AddEdge,
+// SetAttr, Clone, Subgraph, DisjointUnion) stays on *Graph.
+//
+// Contracts every implementation upholds:
+//
+//   - OutByLabelID/InByLabelID return endpoints in ascending NodeID order
+//     (per label; AnyLabel lists are ascending too, with a target possibly
+//     repeated when parallel edges differ only in label), so consumers may
+//     intersect lists by linear merge and test membership by binary search.
+//     The returned slices alias internal storage: read-only.
+//   - NodesByLabel and CandidateNodes return a fresh copy owned by the
+//     caller, never internal index storage, so callers may sort or compact
+//     them in place. AppendCandidates is the allocation-conscious variant
+//     for hot paths: it appends into a caller-owned buffer.
+//   - Label/Node label IDs are interned per graph and do not transfer
+//     across graphs (or across a Graph and its Frozen snapshot).
+type Reader interface {
+	// Cardinalities and node access.
+	NumNodes() int
+	NumEdges() int
+	Label(v NodeID) string
+	Attr(v NodeID, attr string) (string, bool)
+	Attrs(v NodeID) map[string]string
+	Size() int
+
+	// Raw adjacency. On *Frozen these synthesize the []Edge slices per
+	// call; hot paths use the ID-based accessors below.
+	Out(v NodeID) []Edge
+	In(v NodeID) []Edge
+
+	// Label interning.
+	EdgeLabelID(label string) LabelID
+	NodeLabelID(label string) LabelID
+	LabelIDOf(v NodeID) LabelID
+	ResolveLabels(labels []string) []LabelID
+	Labels() []string
+
+	// Edge probes.
+	HasEdge(from, to NodeID, label string) bool
+	HasEdgeID(from, to NodeID, id LabelID) bool
+
+	// Label-keyed adjacency.
+	OutByLabel(v NodeID, label string) []NodeID
+	OutByLabelID(v NodeID, id LabelID) []NodeID
+	InByLabel(v NodeID, label string) []NodeID
+	InByLabelID(v NodeID, id LabelID) []NodeID
+
+	// Node-label index.
+	NodesByLabel(label string) []NodeID
+	CandidateNodes(label string) []NodeID
+	AppendCandidates(dst []NodeID, label string) []NodeID
+	LabelFrequency(label string) int
+
+	// Signature pruning.
+	Covers(v NodeID, sig Signature) bool
+	CoversIDs(v NodeID, outIDs, inIDs []LabelID) bool
+
+	// Traversal.
+	Neighborhood(v NodeID, d int) map[NodeID]bool
+	UndirectedDistance(u, v NodeID) int
+}
+
+// Sink is the build API shared by *Graph (incremental, indexed as it goes)
+// and *Builder (O(1) appends, indexed at Freeze). Generators and parsers
+// written against Sink can materialize either representation; the caller
+// picks by what it passes in.
+type Sink interface {
+	AddNode(label string) NodeID
+	AddNodeWithAttrs(label string, attrs map[string]string) NodeID
+	SetAttr(v NodeID, attr, value string)
+	AddEdge(from, to NodeID, label string)
+	NumNodes() int
+}
+
+// Compile-time checks that both representations satisfy the interfaces.
+var (
+	_ Reader = (*Graph)(nil)
+	_ Reader = (*Frozen)(nil)
+	_ Sink   = (*Graph)(nil)
+	_ Sink   = (*Builder)(nil)
+)
+
+// neighborhood is the shared BFS behind Graph.Neighborhood and
+// Frozen.Neighborhood, written against the wildcard adjacency so both
+// representations traverse identically by construction.
+func neighborhood(r Reader, v NodeID, d int) map[NodeID]bool {
+	seen := map[NodeID]bool{v: true}
+	frontier := []NodeID{v}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, w := range r.OutByLabelID(u, AnyLabel) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+			for _, w := range r.InByLabelID(u, AnyLabel) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// undirectedDistance is the shared BFS behind Graph.UndirectedDistance and
+// Frozen.UndirectedDistance.
+func undirectedDistance(r Reader, u, v NodeID) int {
+	if u == v {
+		return 0
+	}
+	dist := map[NodeID]int{u: 0}
+	frontier := []NodeID{u}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, w := range frontier {
+			dw := dist[w]
+			step := func(nb NodeID) bool {
+				if _, ok := dist[nb]; ok {
+					return false
+				}
+				if nb == v {
+					return true
+				}
+				dist[nb] = dw + 1
+				next = append(next, nb)
+				return false
+			}
+			for _, nb := range r.OutByLabelID(w, AnyLabel) {
+				if step(nb) {
+					return dw + 1
+				}
+			}
+			for _, nb := range r.InByLabelID(w, AnyLabel) {
+				if step(nb) {
+					return dw + 1
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1
+}

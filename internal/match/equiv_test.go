@@ -16,7 +16,7 @@ import (
 // matchSet enumerates every homomorphism under the given options and
 // canonicalizes the result as a sorted list of assignment strings, so two
 // enumerations can be compared independent of discovery order.
-func matchSet(p *pattern.Pattern, g *graph.Graph, opts match.Options) []string {
+func matchSet(p *pattern.Pattern, g graph.Reader, opts match.Options) []string {
 	s := match.NewSearch(p, g, opts)
 	var out []string
 	for {

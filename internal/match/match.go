@@ -45,7 +45,7 @@ func (a Assignment) Complete() bool {
 // not usable; construct with NewSearch.
 type Search struct {
 	p     *pattern.Pattern
-	g     *graph.Graph
+	g     graph.Reader
 	order []pattern.Var
 	// restrict, when non-nil for a variable, limits its candidates to the
 	// given node set (the d_Q-neighborhood of the unit's pivot).
@@ -131,10 +131,12 @@ func PivotedOrder(p *pattern.Pattern, pivots []pattern.Var) []pattern.Var {
 	return order
 }
 
-// NewSearch builds a search. Seeded variables are validated against labels
-// and seeded-edge consistency lazily (the first Next call rejects a bad
-// seed by returning no matches for that branch).
-func NewSearch(p *pattern.Pattern, g *graph.Graph, opts Options) *Search {
+// NewSearch builds a search over any graph representation (mutable Graph
+// or frozen CSR snapshot — both implement graph.Reader). Seeded variables
+// are validated against labels and seeded-edge consistency lazily (the
+// first Next call rejects a bad seed by returning no matches for that
+// branch).
+func NewSearch(p *pattern.Pattern, g graph.Reader, opts Options) *Search {
 	order := opts.Order
 	if order == nil {
 		order = DefaultOrder(p)
@@ -356,15 +358,9 @@ func (s *Search) candidates(v pattern.Var, buf []graph.NodeID) (cands []graph.No
 		}
 	}
 	if !gen {
-		// Fill from the label index (read-only: the IDs are appended into
-		// buf, never mutated in the index itself).
-		if label == graph.Wildcard {
-			for i, n := 0, s.g.NumNodes(); i < n; i++ {
-				base = append(base, graph.NodeID(i))
-			}
-		} else {
-			base = append(base, s.g.NodesByLabel(label)...)
-		}
+		// Fill from the label index via the appending accessor, so the
+		// per-depth scratch buffer is the only storage touched.
+		base = s.g.AppendCandidates(base, label)
 		if !s.scan && (len(s.vars[v].sigOut) > 0 || len(s.vars[v].sigIn) > 0) {
 			// Signature pruning: drop nodes whose out/in edge labels cannot
 			// cover v's pattern edges. Sound (never drops a real match) and
@@ -539,7 +535,7 @@ func dedup(ids []graph.NodeID) []graph.NodeID {
 
 // resolveEdgeLabels maps pattern edges to their data-graph label IDs,
 // aligned by index.
-func resolveEdgeLabels(g *graph.Graph, edges []pattern.Edge) []graph.LabelID {
+func resolveEdgeLabels(g graph.Reader, edges []pattern.Edge) []graph.LabelID {
 	if len(edges) == 0 {
 		return nil
 	}
@@ -690,7 +686,7 @@ func (s *Search) CountAll() int {
 
 // FindAll enumerates every homomorphism of p into g. Intended for small
 // patterns (tests, sequential reasoning on canonical graphs).
-func FindAll(p *pattern.Pattern, g *graph.Graph) []Assignment {
+func FindAll(p *pattern.Pattern, g graph.Reader) []Assignment {
 	s := NewSearch(p, g, Options{})
 	var out []Assignment
 	for {
@@ -706,7 +702,7 @@ func FindAll(p *pattern.Pattern, g *graph.Graph) []Assignment {
 // node z matching variable pv: every variable of pv's component is confined
 // to the d_Q-neighborhood of z, where d_Q is the pattern radius at pv. Other
 // components are unrestricted.
-func PivotRestriction(p *pattern.Pattern, g *graph.Graph, pv pattern.Var, z graph.NodeID) map[pattern.Var]map[graph.NodeID]bool {
+func PivotRestriction(p *pattern.Pattern, g graph.Reader, pv pattern.Var, z graph.NodeID) map[pattern.Var]map[graph.NodeID]bool {
 	hood := g.Neighborhood(z, p.Radius(pv))
 	restrict := make(map[pattern.Var]map[graph.NodeID]bool)
 	for _, comp := range p.Components() {

@@ -44,10 +44,11 @@ func (s *Sim) Nodes(v pattern.Var) []graph.NodeID {
 // nil there is no match of p in g, and any homomorphism maps u into sim(u).
 // The parallel algorithms use it as a cheap O(|Q|·|G|) pre-filter before
 // backtracking search (Section V-B, multi-query optimization).
-func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
+func Simulate(p *pattern.Pattern, g graph.Reader) *Sim {
 	p.Freeze()
 	nv := p.NumVars()
 	s := &Sim{p: p, n: g.NumNodes(), bits: make([][]bool, nv), cnt: make([]int, nv)}
+	var cands []graph.NodeID // recycled across variables
 	for v := 0; v < nv; v++ {
 		bits := make([]bool, s.n)
 		cnt := 0
@@ -56,23 +57,16 @@ func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
 		// variable's pattern edges would be refined away anyway, so dropping
 		// it here shrinks the fixpoint's working set for free. The signature
 		// is resolved to label IDs once so the per-node probes are
-		// integer-only, and the label index is read in place (no copy).
+		// integer-only, and the candidates land in a recycled buffer via the
+		// appending accessor (NodesByLabel would copy per variable).
 		sig := p.Signature(pattern.Var(v))
 		sigOut := g.ResolveLabels(sig.Out)
 		sigIn := g.ResolveLabels(sig.In)
-		seed := func(n graph.NodeID) {
+		cands = g.AppendCandidates(cands[:0], p.Label(pattern.Var(v)))
+		for _, n := range cands {
 			if g.CoversIDs(n, sigOut, sigIn) {
 				bits[n] = true
 				cnt++
-			}
-		}
-		if label := p.Label(pattern.Var(v)); label == graph.Wildcard {
-			for n := 0; n < s.n; n++ {
-				seed(graph.NodeID(n))
-			}
-		} else {
-			for _, n := range g.NodesByLabel(label) {
-				seed(n)
 			}
 		}
 		if cnt == 0 {
@@ -115,7 +109,7 @@ func Simulate(p *pattern.Pattern, g *graph.Graph) *Sim {
 	return s
 }
 
-func edgesRealizable(p *pattern.Pattern, g *graph.Graph, s *Sim, u pattern.Var, n graph.NodeID, outIDs, inIDs []graph.LabelID) bool {
+func edgesRealizable(p *pattern.Pattern, g graph.Reader, s *Sim, u pattern.Var, n graph.NodeID, outIDs, inIDs []graph.LabelID) bool {
 	// The label-keyed adjacency index hands back exactly the edges carrying
 	// the pattern edge's label (all edges for wildcard), so the inner loops
 	// touch no mismatched edges.

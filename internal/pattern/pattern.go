@@ -156,7 +156,7 @@ func LabelMatches(patternLabel, dataLabel string) bool {
 // preferring selective labels (fewest candidate nodes in g, wildcard = all).
 // Ties break toward higher degree, then lower variable index, keeping the
 // choice deterministic.
-func (p *Pattern) Pivot(g *graph.Graph) []Var {
+func (p *Pattern) Pivot(g graph.Reader) []Var {
 	p.Freeze()
 	pivots := make([]Var, 0, len(p.components))
 	for _, comp := range p.components {
