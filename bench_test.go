@@ -313,6 +313,44 @@ func BenchmarkMatchScan(b *testing.B) {
 	benchMatch(b, g, ps, true)
 }
 
+// BenchmarkMatchSharded fans the same enumeration out per shard of the
+// sharded snapshot at the CI gate's worker width: each shard's slice of the
+// root candidate set runs as an independent search. Compare with
+// BenchmarkMatchFrozen for the parallel speedup (bounded by core count; on
+// one core it measures the fan-out overhead, which the CI gate bounds).
+func BenchmarkMatchSharded(b *testing.B) {
+	g, ps := benchMatchWorkload(b)
+	s := g.Frozen().Sharded(bench.CIShardWorkers)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			total += match.CountSharded(p, s, bench.CIShardWorkers, match.Options{})
+		}
+	}
+	if total == 0 {
+		b.Fatal("workload produced no matches; benchmark is vacuous")
+	}
+}
+
+// BenchmarkParSatSharded measures the work-stealing executor against the
+// single-global-queue coordinator on the shared parallel-reasoning
+// workload (bench.ParWorkload, the one the CI gate's parsat_steal_speedup
+// ratio is measured on): 8 workers, millisecond TTL so straggler splitting
+// fires and split branches exercise the local deques.
+func BenchmarkParSatSharded(b *testing.B) {
+	set, opt := bench.ParWorkload(1)
+	for _, variant := range []string{"steal", "central"} {
+		o := opt
+		o.Stealing = variant == "steal"
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParSat(set, o)
+			}
+		})
+	}
+}
+
 // BenchmarkFig6lVaryTTLImp reproduces Fig. 6(l): the TTL sweep for
 // implication.
 func BenchmarkFig6lVaryTTLImp(b *testing.B) {

@@ -555,8 +555,68 @@ func MatchIndex(cfg Config) *Report {
 	return r
 }
 
-// All runs every experiment in paper order, then the repo's own index
-// experiment.
+// Sharded is the repo's own sharded-execution experiment (not a paper
+// figure): the per-shard match fan-out against the flat single-threaded
+// enumeration across shard counts on the label-dense workload, and the
+// work-stealing executor against the central-queue coordinator across
+// worker counts on the shared parallel-reasoning workload. On a single
+// core the ratios hover around 1 (the gate's conservative floors assume as
+// much); on a multi-core box they report the parallel speedup.
+func Sharded(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	r := &Report{
+		Name:   "Sharded",
+		Title:  "Sharded fan-out matching and work-stealing execution",
+		Header: []string{"axis", "flat/central", "sharded/steal", "speedup"},
+	}
+	ratio := func(a, b time.Duration) string {
+		if b == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+	}
+	g, ps, err := MatchWorkload(cfg.Seed)
+	if err != nil {
+		r.Notes = append(r.Notes, fmt.Sprintf("match workload unavailable: %v", err))
+	} else {
+		f := g.Frozen()
+		flat := medianTime(cfg.Reps, func() {
+			for _, p := range ps {
+				match.NewSearch(p, f, match.Options{}).CountAll()
+			}
+		})
+		for _, k := range []int{2, 4, 8, 16} {
+			sh := f.Sharded(k)
+			fan := medianTime(cfg.Reps, func() {
+				for _, p := range ps {
+					match.CountSharded(p, sh, k, match.Options{})
+				}
+			})
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprintf("match K=%d", k), ms(flat), ms(fan), ratio(flat, fan),
+			})
+		}
+	}
+	set, popt := ParWorkload(cfg.Seed)
+	for _, p := range []int{4, 8, 16} {
+		steal := popt
+		steal.Workers = p
+		central := steal
+		central.Stealing = false
+		tSteal := medianTime(cfg.Reps, func() { core.ParSat(set, steal) })
+		tCentral := medianTime(cfg.Reps, func() { core.ParSat(set, central) })
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("parsat p=%d", p), ms(tCentral), ms(tSteal), ratio(tCentral, tSteal),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"match rows: flat = single-threaded frozen enumeration; sharded = per-shard root fan-out, workers=K",
+		"parsat rows: central = single-global-queue coordinator; steal = per-worker deques + work stealing")
+	return r
+}
+
+// All runs every experiment in paper order, then the repo's own index and
+// sharding experiments.
 func All(cfg Config) []*Report {
 	return []*Report{
 		Fig5(cfg),
@@ -565,6 +625,7 @@ func All(cfg Config) []*Report {
 		Fig6g(cfg), Fig6h(cfg), Fig6i(cfg), Fig6j(cfg),
 		Fig6k(cfg), Fig6l(cfg),
 		MatchIndex(cfg),
+		Sharded(cfg),
 	}
 }
 
@@ -574,7 +635,7 @@ func ByName(name string) func(Config) *Report {
 		"fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b, "fig6c": Fig6c,
 		"fig6d": Fig6d, "fig6e": Fig6e, "fig6f": Fig6f, "fig6g": Fig6g,
 		"fig6h": Fig6h, "fig6i": Fig6i, "fig6j": Fig6j, "fig6k": Fig6k,
-		"fig6l": Fig6l, "matchindex": MatchIndex,
+		"fig6l": Fig6l, "matchindex": MatchIndex, "sharded": Sharded,
 	}
 	return m[strings.ToLower(name)]
 }

@@ -18,10 +18,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/gfd"
 	"repro/internal/graph"
 	"repro/internal/match"
 	"repro/internal/pattern"
@@ -149,10 +152,30 @@ func MatchWorkload(seed int64) (*graph.Graph, []*pattern.Pattern, error) {
 	return nil, nil, fmt.Errorf("no triangle workload within seeds [%d,%d)", seed, seed+16)
 }
 
+// CIShardWorkers is the fan-out width of the sharded/stealing CI metrics:
+// the paper's per-machine worker count, oversubscribed harmlessly on
+// smaller runners (goroutines, not threads).
+const CIShardWorkers = 8
+
+// ParWorkload builds the canonical parallel-reasoning workload for the
+// scheduling metrics: a satisfiable DBpedia-profiled set large enough that
+// ParSat runs hundreds of work units, checked with a tight TTL so straggler
+// splitting (the path the work-stealing executor accelerates) actually
+// fires. Shared by the CI gate and the root BenchmarkParSatSharded.
+func ParWorkload(seed int64) (*gfd.Set, core.ParOptions) {
+	set := gen.New(gen.Config{N: 300, K: 6, L: 3, Profile: dataset.DBpedia(), WildcardRate: 0.2, Seed: seed}).Set()
+	opt := core.DefaultParOptions(CIShardWorkers)
+	opt.TTL = time.Millisecond
+	return set, opt
+}
+
 // RunCI measures the CI metric suite: freeze-vs-incremental bulk ingest on
-// the 100k-edge hub-heavy graph, and the matching hot path across the
+// the 100k-edge hub-heavy graph, the matching hot path across the
 // three modes (frozen CSR, mutable indexed, pre-index scan) on the
-// label-dense triangle workload. Wall time is a few seconds. The suite is
+// label-dense triangle workload, the sharded parallel fan-out against the
+// flat single-threaded enumeration of the same workload, and the
+// work-stealing executor against the central-queue baseline. Wall time is a
+// few seconds. The suite is
 // fixed-size by design — Config.Scale does not apply — so reports stay
 // comparable across baselines; Seed reseeds both workloads and Reps sets
 // the per-measurement median width. It errors instead of reporting when
@@ -179,6 +202,26 @@ func RunCI(cfg Config) (*CIReport, error) {
 	}
 	frozen, indexed, scan := matchAll(f, false), matchAll(g, false), matchAll(g, true)
 
+	// Sharded fan-out vs the flat single-threaded enumeration of the same
+	// workload. The ratio is gated with a deliberately conservative baseline
+	// floor: runner core counts vary (a 1-core runner can at best break
+	// even), so the gate guards "sharding never becomes a tax", while the
+	// informational times record the actual speedup per machine.
+	sh := f.Sharded(graph.DefaultShardCount(f.NumNodes()))
+	sharded := medianTime(cfg.Reps, func() {
+		for _, p := range ps {
+			match.CountSharded(p, sh, CIShardWorkers, match.Options{})
+		}
+	})
+
+	// Work-stealing vs central-queue executor on the shared parallel
+	// reasoning workload, same conservative-floor rationale.
+	set, popt := ParWorkload(cfg.Seed)
+	copt := popt
+	copt.Stealing = false
+	stealT := medianTime(cfg.Reps, func() { core.ParSat(set, popt) })
+	centralT := medianTime(cfg.Reps, func() { core.ParSat(set, copt) })
+
 	ratio := func(num, den time.Duration) float64 {
 		if den <= 0 {
 			return 0
@@ -190,11 +233,16 @@ func RunCI(cfg Config) (*CIReport, error) {
 		{Name: "freeze_ingest_speedup", Value: ratio(incremental, freeze), Unit: "x", HigherIsBetter: true},
 		{Name: "match_indexed_speedup", Value: ratio(scan, indexed), Unit: "x", HigherIsBetter: true},
 		{Name: "match_frozen_gain", Value: ratio(indexed, frozen), Unit: "x", HigherIsBetter: true},
+		{Name: "match_sharded_speedup", Value: ratio(frozen, sharded), Unit: "x", HigherIsBetter: true},
+		{Name: "parsat_steal_speedup", Value: ratio(centralT, stealT), Unit: "x", HigherIsBetter: true},
 		{Name: "incremental_ingest_ms", Value: msOf(incremental), Unit: "ms", Informational: true},
 		{Name: "freeze_ingest_ms", Value: msOf(freeze), Unit: "ms", Informational: true},
 		{Name: "match_frozen_ms", Value: msOf(frozen), Unit: "ms", Informational: true},
 		{Name: "match_indexed_ms", Value: msOf(indexed), Unit: "ms", Informational: true},
 		{Name: "match_scan_ms", Value: msOf(scan), Unit: "ms", Informational: true},
+		{Name: "match_sharded_ms", Value: msOf(sharded), Unit: "ms", Informational: true},
+		{Name: "parsat_steal_ms", Value: msOf(stealT), Unit: "ms", Informational: true},
+		{Name: "parsat_central_ms", Value: msOf(centralT), Unit: "ms", Informational: true},
 	}}
 	return report, nil
 }
@@ -269,4 +317,15 @@ func CompareCI(baseline, current *CIReport, tol float64) []string {
 		}
 	}
 	return violations
+}
+
+// ViolationError folds every CompareCI violation into one error, so a CI
+// failure reports the complete set of regressed metrics at once rather
+// than the first one per re-run. Nil when there are no violations.
+func ViolationError(baseline string, violations []string) error {
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("benchmark regression against %s (%d metric(s)):\n  %s",
+		baseline, len(violations), strings.Join(violations, "\n  "))
 }

@@ -26,6 +26,34 @@ func TestCompareCIWithinTolerance(t *testing.T) {
 	}
 }
 
+// TestCompareCIReportsAllRegressions pins the full-picture contract: a run
+// that regresses several gating metrics must surface every one of them in
+// a single failure (no bailing on the first), so one CI run shows the
+// whole damage.
+func TestCompareCIReportsAllRegressions(t *testing.T) {
+	base := ciReport(map[string]float64{"r1": 4.0, "r2": 2.0, "r3": 1.5})
+	cur := ciReport(map[string]float64{"r1": 1.0, "r2": 0.5, "r3": 1.45}) // r1, r2 regress; r3 within tolerance
+	vs := CompareCI(base, cur, 0.25)
+	if len(vs) != 2 {
+		t.Fatalf("want both regressions reported, got %v", vs)
+	}
+	err := ViolationError("BENCH_baseline.json", vs)
+	if err == nil {
+		t.Fatal("ViolationError must be non-nil for violations")
+	}
+	for _, name := range []string{"r1", "r2"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("aggregated failure message misses %s: %q", name, err)
+		}
+	}
+	if strings.Contains(err.Error(), "r3") {
+		t.Errorf("aggregated failure message flags the non-regressed r3: %q", err)
+	}
+	if ViolationError("b", nil) != nil {
+		t.Fatal("ViolationError of no violations must be nil")
+	}
+}
+
 func TestCompareCIDirections(t *testing.T) {
 	base := &CIReport{Metrics: []Metric{
 		{Name: "ratio", Value: 2.0, HigherIsBetter: true},
@@ -93,7 +121,10 @@ func TestRunCISmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"freeze_ingest_speedup", "match_indexed_speedup", "match_frozen_gain"} {
+	for _, name := range []string{
+		"freeze_ingest_speedup", "match_indexed_speedup", "match_frozen_gain",
+		"match_sharded_speedup", "parsat_steal_speedup",
+	} {
 		m, ok := r.Get(name)
 		if !ok {
 			t.Fatalf("gating metric %s missing", name)

@@ -167,3 +167,100 @@ func (q *Queue[T]) Pop() (T, bool) {
 
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Deque is a synchronized double-ended work queue, one per worker in the
+// work-stealing executor. The owning worker pushes split sub-units to the
+// front and pops from the front (depth-first locality: a split branch reuses
+// the caches its parent just warmed), while idle workers steal from the
+// back, taking the work the owner would reach last. A mutex per deque is
+// deliberate: work units cost well over a microsecond each, so lock-free
+// Chase–Lev buys nothing here while costing memory-model subtlety.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	head  int // index of the front item
+	count int
+}
+
+// NewDeque returns an empty deque.
+func NewDeque[T any]() *Deque[T] { return &Deque[T]{} }
+
+// grow doubles the ring buffer; callers hold mu.
+func (d *Deque[T]) grow() {
+	n := len(d.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]T, n)
+	for i := 0; i < d.count; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+// PushFront inserts items at the front, preserving their order within the
+// batch (vs[0] is popped first).
+func (d *Deque[T]) PushFront(vs ...T) {
+	d.mu.Lock()
+	for i := len(vs) - 1; i >= 0; i-- {
+		if d.count == len(d.buf) {
+			d.grow()
+		}
+		d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+		d.buf[d.head] = vs[i]
+		d.count++
+	}
+	d.mu.Unlock()
+}
+
+// PushBack appends an item at the back.
+func (d *Deque[T]) PushBack(v T) {
+	d.mu.Lock()
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = v
+	d.count++
+	d.mu.Unlock()
+}
+
+// PopFront removes and returns the front item (the owner's end).
+func (d *Deque[T]) PopFront() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	if d.count == 0 {
+		d.mu.Unlock()
+		return zero, false
+	}
+	v := d.buf[d.head]
+	d.buf[d.head] = zero // release references
+	d.head = (d.head + 1) % len(d.buf)
+	d.count--
+	d.mu.Unlock()
+	return v, true
+}
+
+// PopBack removes and returns the back item (the thieves' end).
+func (d *Deque[T]) PopBack() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	if d.count == 0 {
+		d.mu.Unlock()
+		return zero, false
+	}
+	i := (d.head + d.count - 1) % len(d.buf)
+	v := d.buf[i]
+	d.buf[i] = zero
+	d.count--
+	d.mu.Unlock()
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	n := d.count
+	d.mu.Unlock()
+	return n
+}

@@ -119,3 +119,156 @@ func TestQueueEmptyPop(t *testing.T) {
 		t.Fatal("empty queue has nonzero length")
 	}
 }
+
+func TestDequeEnds(t *testing.T) {
+	d := NewDeque[int]()
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Fatal("pop back from empty deque succeeded")
+	}
+	d.PushBack(1)
+	d.PushBack(2)
+	d.PushFront(0)
+	// Front: 0 1 2. Owner pops lowest, thief steals highest.
+	if v, _ := d.PopFront(); v != 0 {
+		t.Fatalf("PopFront = %d, want 0", v)
+	}
+	if v, _ := d.PopBack(); v != 2 {
+		t.Fatalf("PopBack = %d, want 2", v)
+	}
+	if v, _ := d.PopFront(); v != 1 {
+		t.Fatalf("PopFront = %d, want 1", v)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+// TestDequePushFrontBatchOrder pins the split-batch contract: a batch
+// pushed to the front pops in batch order, ahead of older work.
+func TestDequePushFrontBatchOrder(t *testing.T) {
+	d := NewDeque[string]()
+	d.PushBack("old")
+	d.PushFront("s1", "s2", "s3")
+	var got []string
+	for {
+		v, ok := d.PopFront()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []string{"s1", "s2", "s3", "old"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDequeGrowth forces several ring-buffer growth cycles with interleaved
+// pops at both ends, then checks no element was lost or reordered.
+func TestDequeGrowth(t *testing.T) {
+	d := NewDeque[int]()
+	next, popped := 0, 0
+	var front, back []int
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			d.PushBack(next)
+			next++
+		}
+		if v, ok := d.PopFront(); ok {
+			front = append(front, v)
+			popped++
+		}
+		if v, ok := d.PopBack(); ok {
+			back = append(back, v)
+			popped++
+		}
+	}
+	if d.Len() != next-popped {
+		t.Fatalf("Len = %d, want %d", d.Len(), next-popped)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i] <= front[i-1] {
+			t.Fatalf("front pops not ascending: %v", front)
+		}
+	}
+	seen := make(map[int]bool)
+	for _, v := range append(front, back...) {
+		if seen[v] {
+			t.Fatalf("element %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	for {
+		v, ok := d.PopFront()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("element %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != next {
+		t.Fatalf("lost elements: saw %d of %d", len(seen), next)
+	}
+}
+
+// TestDequeConcurrentSteal hammers one owner (front) and several thieves
+// (back) and checks conservation: every pushed element is popped exactly
+// once across all consumers.
+func TestDequeConcurrentSteal(t *testing.T) {
+	d := NewDeque[int]()
+	const n = 2000
+	var mu sync.Mutex
+	seen := make(map[int]bool, n)
+	record := func(v int) {
+		mu.Lock()
+		if seen[v] {
+			t.Errorf("element %d popped twice", v)
+		}
+		seen[v] = true
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // owner: pushes and pops at the front
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			d.PushFront(i)
+			if i%3 == 0 {
+				if v, ok := d.PopFront(); ok {
+					record(v)
+				}
+			}
+		}
+	}()
+	for th := 0; th < 3; th++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if v, ok := d.PopBack(); ok {
+					record(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for {
+		v, ok := d.PopFront()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if len(seen) != n {
+		t.Fatalf("conservation broken: popped %d of %d", len(seen), n)
+	}
+}

@@ -21,6 +21,7 @@ type Stats struct {
 	Dropped      int // matches whose antecedent became permanently false
 	UnitsRun     int // work units executed (parallel runs)
 	UnitsSplit   int // sub-units produced by straggler splitting
+	UnitsStolen  int // units taken from another worker's deque (stealing runs)
 	Broadcasts   int // delta broadcasts between workers
 	DeltaOps     int // total Eq operations shipped in broadcasts
 }
@@ -34,6 +35,7 @@ func (s *Stats) Add(other Stats) {
 	s.Dropped += other.Dropped
 	s.UnitsRun += other.UnitsRun
 	s.UnitsSplit += other.UnitsSplit
+	s.UnitsStolen += other.UnitsStolen
 	s.Broadcasts += other.Broadcasts
 	s.DeltaOps += other.DeltaOps
 }

@@ -36,6 +36,16 @@ type ParOptions struct {
 	// graph of Section V-B; false uses arrival order (an extra ablation
 	// beyond the paper's variants).
 	DepOrder bool
+	// Stealing selects the shard-aware work-stealing executor: each worker
+	// owns a double-ended queue seeded with a stripe of the rank-ordered
+	// units, TTL-split straggler branches are pushed onto the owner's own
+	// deque (depth-first, cache-warm) instead of round-tripping through the
+	// coordinator, and idle workers first steal from the back of peer deques
+	// and then block on a condition variable until work appears or the run
+	// quiesces — no polling, no sleeps. False is the single-global-queue
+	// coordinator (kept as the comparison baseline for the scheduling
+	// benchmarks; both executors decide identically on every input).
+	Stealing bool
 	// Simulation enables the graph-simulation pre-filter on pattern
 	// candidates (the paper's multi-query optimization device). The
 	// relation is computed over graph's label-keyed adjacency index and
@@ -57,6 +67,7 @@ func DefaultParOptions(workers int) ParOptions {
 		Pipeline:   true,
 		Splitting:  true,
 		DepOrder:   true,
+		Stealing:   true,
 		Simulation: true,
 	}
 }
@@ -122,7 +133,58 @@ type parEngine struct {
 	ranks    []int
 
 	log     *cluster.Log
+	steal   *stealState // non-nil on work-stealing runs
 	stopped atomic.Bool
+}
+
+// stealState is the scheduling state shared by the work-stealing executor's
+// workers: one deque per worker, a count of units still queued or in
+// flight, and a condition variable idle workers block on (with a push
+// sequence number so a wakeup between a worker's empty scan and its wait
+// is never lost). There is no busy-polling: a worker that finds every
+// deque empty sleeps until a split pushes new work, the last unit
+// completes, or the run is stopped.
+type stealState struct {
+	deques  []*cluster.Deque[unit]
+	pending atomic.Int64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     uint64 // bumped under mu by every wake
+}
+
+func newStealState(p int) *stealState {
+	st := &stealState{deques: make([]*cluster.Deque[unit], p)}
+	for i := range st.deques {
+		st.deques[i] = cluster.NewDeque[unit]()
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// wake bumps the sequence number and wakes every waiter.
+func (st *stealState) wake() {
+	st.mu.Lock()
+	st.seq++
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// addWork makes units available on the owner's deque front (depth-first:
+// split branches run on the arrays their parent just warmed). pending is
+// raised before the push so no thief can complete the new work and drive
+// pending to zero while it is still being published.
+func (st *stealState) addWork(owner int, units []unit) {
+	st.pending.Add(int64(len(units)))
+	st.deques[owner].PushFront(units...)
+	st.wake()
+}
+
+// finishUnit retires one unit; the last one wakes the waiters so they can
+// observe quiescence.
+func (st *stealState) finishUnit() {
+	if st.pending.Add(-1) == 0 {
+		st.wake()
+	}
 }
 
 // buildUnits enumerates the work units of Σ on g: one per (GFD, pivot
@@ -279,27 +341,79 @@ func (e *parEngine) rankUnits() {
 // run executes the protocol and returns the first conflict (satisfiability
 // failure / implication success), whether the goal was reached (implication
 // by deduction), the converged relation (quiescent runs only; nil after
-// early termination), and aggregate stats.
+// early termination), and aggregate stats. The scheduling strategy is
+// selected by Options.Stealing; both executors share the unit semantics,
+// the broadcast log and the finalize protocol, and decide identically.
 func (e *parEngine) run() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats) {
-	p := e.opt.Workers
-	if p < 1 {
-		p = 1
+	if e.opt.Stealing {
+		return e.runStealing()
 	}
-	e.log = cluster.NewLog()
+	return e.runCentral()
+}
 
-	events := make(chan cevent, 16*p+len(e.units)+16)
-	assign := make([]chan wmsg, p)
-	workers := make([]*parWorker, p)
-	var wg sync.WaitGroup
+// spawnWorkers builds the shared worker/channel plumbing. entry is each
+// worker goroutine's body.
+func (e *parEngine) spawnWorkers(p int, entry func(*parWorker)) (events chan cevent, assign []chan wmsg, workers []*parWorker, wg *sync.WaitGroup) {
+	events = make(chan cevent, 16*p+len(e.units)+16)
+	assign = make([]chan wmsg, p)
+	workers = make([]*parWorker, p)
+	wg = &sync.WaitGroup{}
 	for i := 0; i < p; i++ {
 		assign[i] = make(chan wmsg, 8)
 		workers[i] = newParWorker(i, e, events, assign[i])
 		wg.Add(1)
 		go func(w *parWorker) {
 			defer wg.Done()
-			w.loop()
+			entry(w)
 		}(workers[i])
 	}
+	return events, assign, workers, wg
+}
+
+// finishRun stops every worker, drains stray events so none blocks on its
+// way out, and aggregates stats.
+func (e *parEngine) finishRun(events chan cevent, assign []chan wmsg, workers []*parWorker, wg *sync.WaitGroup,
+	c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats) {
+	e.stopped.Store(true)
+	if e.steal != nil {
+		e.steal.wake()
+	}
+	for i := range assign {
+		assign[i] <- wmsg{kind: wmStop}
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-events:
+			continue
+		case <-done:
+		}
+		break
+	}
+	var st Stats
+	for _, w := range workers {
+		st.Add(w.enf.stats)
+	}
+	st.Broadcasts = e.log.Appends()
+	st.DeltaOps = e.log.Len()
+	return c, goal, fin, st
+}
+
+// runCentral is the single-global-queue executor: the coordinator owns a
+// priority queue of every unit, feeds idle workers in small batches, and
+// receives split sub-units back over the event channel. Kept as the
+// scheduling baseline the work-stealing executor is benchmarked against.
+func (e *parEngine) runCentral() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats) {
+	p := e.opt.Workers
+	if p < 1 {
+		p = 1
+	}
+	e.log = cluster.NewLog()
+	events, assign, workers, wg := e.spawnWorkers(p, func(w *parWorker) { w.loop() })
 
 	// Coordinator.
 	queue := cluster.NewQueue[unit]()
@@ -347,36 +461,8 @@ func (e *parEngine) run() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats S
 		}
 		return true
 	}
-	stopAll := func() {
-		e.stopped.Store(true)
-		for i := 0; i < p; i++ {
-			assign[i] <- wmsg{kind: wmStop}
-		}
-	}
-
 	finish := func(c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats) {
-		stopAll()
-		done := make(chan struct{})
-		go func() {
-			wg.Wait()
-			close(done)
-		}()
-		// Drain stray events so no worker blocks on its way out.
-		for {
-			select {
-			case <-events:
-				continue
-			case <-done:
-			}
-			break
-		}
-		var st Stats
-		for _, w := range workers {
-			st.Add(w.enf.stats)
-		}
-		st.Broadcasts = e.log.Appends()
-		st.DeltaOps = e.log.Len()
-		return c, goal, fin, st
+		return e.finishRun(events, assign, workers, wg, c, goal, fin)
 	}
 
 	feed()
@@ -424,6 +510,145 @@ func (e *parEngine) run() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats S
 				finalizing = false
 			}
 		}
+	}
+}
+
+// runStealing is the shard-aware work-stealing executor. The rank-ordered
+// units are striped round-robin across per-worker deques; each worker pops
+// its own front, steals from peers' backs when dry, and blocks on the
+// condition variable otherwise. TTL-split straggler branches go onto the
+// splitter's own deque front — local, immediately runnable, and stealable
+// by an idle peer — instead of round-tripping through a coordinator. The
+// run()-side goroutine only handles lifecycle: early termination and the
+// finalize rounds once every unit has retired.
+func (e *parEngine) runStealing() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats) {
+	p := e.opt.Workers
+	if p < 1 {
+		p = 1
+	}
+	e.log = cluster.NewLog()
+	st := newStealState(p)
+	e.steal = st
+
+	// Seed: stripe units across deques in global rank order, so every
+	// worker's deque front holds its highest-priority share and the blended
+	// execution order approximates the central queue's.
+	idx := make([]int, len(e.units))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return e.ranks[idx[a]] < e.ranks[idx[b]] })
+	st.pending.Store(int64(len(e.units)))
+	for j, i := range idx {
+		st.deques[j%p].PushBack(e.units[i])
+	}
+
+	events, assign, workers, wg := e.spawnWorkers(p, func(w *parWorker) {
+		w.workPhase()
+		w.events <- cevent{kind: evDone, worker: w.id}
+		w.loop()
+	})
+	finish := func(c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats) {
+		return e.finishRun(events, assign, workers, wg, c, goal, fin)
+	}
+
+	beginFinalize := func() int {
+		base := e.log.Len()
+		for i := range assign {
+			assign[i] <- wmsg{kind: wmFinalize}
+		}
+		return base
+	}
+	phaseDone := 0
+	finalizeReplies := 0
+	finalizeBase := 0
+	for {
+		ev := <-events
+		switch ev.kind {
+		case evConflict:
+			return finish(workers[ev.worker].enf.conflict(), false, nil)
+		case evGoal:
+			return finish(nil, true, nil)
+		case evDone:
+			phaseDone++
+			if phaseDone == p {
+				// Every unit retired (splits included: a split raises pending
+				// before its parent's retirement can lower it). Run finalize
+				// rounds until the broadcast log is quiescent.
+				finalizeReplies = 0
+				finalizeBase = beginFinalize()
+			}
+		case evFinalized:
+			finalizeReplies++
+			if finalizeReplies == p {
+				if e.log.Len() == finalizeBase {
+					return finish(nil, false, workers[0].enf.eq)
+				}
+				finalizeReplies = 0
+				finalizeBase = beginFinalize()
+			}
+		}
+	}
+}
+
+// workPhase consumes units until global quiescence or stop.
+func (w *parWorker) workPhase() {
+	for {
+		u, ok := w.take()
+		if !ok {
+			return
+		}
+		w.runUnit(u)
+		w.eng.steal.finishUnit()
+	}
+}
+
+// grab returns a unit from the worker's own deque front, else from the back
+// of the first non-empty peer deque (scanning from the next worker up, so
+// victims spread).
+func (w *parWorker) grab() (unit, bool) {
+	st := w.eng.steal
+	if u, ok := st.deques[w.id].PopFront(); ok {
+		return u, true
+	}
+	p := len(st.deques)
+	for i := 1; i < p; i++ {
+		if u, ok := st.deques[(w.id+i)%p].PopBack(); ok {
+			w.enf.stats.UnitsStolen++
+			return u, true
+		}
+	}
+	return unit{}, false
+}
+
+// take returns the next unit to run, blocking while every deque is empty
+// but units are still in flight (their splits may yet publish new work).
+// It returns ok=false on global quiescence or stop. The sequence-number
+// handshake with stealState.wake closes the scan-then-sleep race: a push
+// between the empty scan and the wait bumps seq, so the wait is skipped.
+func (w *parWorker) take() (unit, bool) {
+	st := w.eng.steal
+	for {
+		if w.eng.stopped.Load() {
+			return unit{}, false
+		}
+		if u, ok := w.grab(); ok {
+			return u, true
+		}
+		st.mu.Lock()
+		seq := st.seq
+		st.mu.Unlock()
+		if u, ok := w.grab(); ok {
+			return u, true
+		}
+		if st.pending.Load() == 0 {
+			return unit{}, false
+		}
+		st.mu.Lock()
+		for st.seq == seq && st.pending.Load() > 0 && !w.eng.stopped.Load() {
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
 	}
 }
 
@@ -672,5 +897,12 @@ func (w *parWorker) emitSplits(u unit, seeds []match.Assignment) {
 		units[i] = unit{gfd: u.gfd, pivot: u.pivot, seed: sd}
 	}
 	w.enf.stats.UnitsSplit += len(units)
+	if st := w.eng.steal; st != nil {
+		// Work stealing: split branches stay on the splitter's own deque,
+		// runnable immediately and stealable by idle peers — no coordinator
+		// round-trip.
+		st.addWork(w.id, units)
+		return
+	}
 	w.events <- cevent{kind: evSplit, worker: w.id, splits: units}
 }

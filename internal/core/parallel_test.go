@@ -12,7 +12,8 @@ import (
 
 // variantOptions enumerates the paper's algorithm variants: full ParSat/
 // ParImp, the np (no pipelining) and nb (no splitting) ablations, plus the
-// no-dependency-order ablation, across worker counts.
+// no-dependency-order ablation, across worker counts — each under both the
+// central-queue and the work-stealing executor.
 func variantOptions(workers int) map[string]ParOptions {
 	mk := func(pipeline, split, dep bool) ParOptions {
 		return ParOptions{
@@ -24,12 +25,20 @@ func variantOptions(workers int) map[string]ParOptions {
 			Simulation: true,
 		}
 	}
-	return map[string]ParOptions{
+	out := map[string]ParOptions{
 		"full":    mk(true, true, true),
 		"np":      mk(false, true, true),
 		"nb":      mk(true, false, true),
 		"noorder": mk(true, true, false),
 	}
+	// Snapshot the base names first: inserting while ranging over the map
+	// may (per spec) produce or skip the new entries.
+	for _, name := range []string{"full", "np", "nb", "noorder"} {
+		opt := out[name]
+		opt.Stealing = true
+		out["steal-"+name] = opt
+	}
+	return out
 }
 
 func TestParSatAgreesOnPaperExamples(t *testing.T) {
@@ -142,11 +151,14 @@ func TestParSatAgreesOnRandomSets(t *testing.T) {
 		} else {
 			unsatSeen++
 		}
-		opt := DefaultParOptions(3)
-		opt.TTL = 2 * time.Millisecond
-		got := ParSat(set, opt)
-		if got.Satisfiable != want.Satisfiable {
-			t.Errorf("trial %d: ParSat=%v SeqSat=%v\n%s", trial, got.Satisfiable, want.Satisfiable, set)
+		for _, stealing := range []bool{true, false} {
+			opt := DefaultParOptions(3)
+			opt.TTL = 2 * time.Millisecond
+			opt.Stealing = stealing
+			got := ParSat(set, opt)
+			if got.Satisfiable != want.Satisfiable {
+				t.Errorf("trial %d (stealing=%v): ParSat=%v SeqSat=%v\n%s", trial, stealing, got.Satisfiable, want.Satisfiable, set)
+			}
 		}
 	}
 	if satSeen == 0 || unsatSeen == 0 {
@@ -167,11 +179,14 @@ func TestParImpAgreesOnRandomInstances(t *testing.T) {
 		} else {
 			notSeen++
 		}
-		opt := DefaultParOptions(3)
-		opt.TTL = 2 * time.Millisecond
-		got := ParImp(set, phi, opt)
-		if got.Implied != want.Implied {
-			t.Errorf("trial %d: ParImp=%v SeqImp=%v\nΣ:\n%sφ: %s", trial, got.Implied, want.Implied, set, phi)
+		for _, stealing := range []bool{true, false} {
+			opt := DefaultParOptions(3)
+			opt.TTL = 2 * time.Millisecond
+			opt.Stealing = stealing
+			got := ParImp(set, phi, opt)
+			if got.Implied != want.Implied {
+				t.Errorf("trial %d (stealing=%v): ParImp=%v SeqImp=%v\nΣ:\n%sφ: %s", trial, stealing, got.Implied, want.Implied, set, phi)
+			}
 		}
 	}
 	if impSeen == 0 || notSeen == 0 {
@@ -233,5 +248,81 @@ func TestSplittingProducesSubUnits(t *testing.T) {
 	res = ParSat(set, opt)
 	if res.Satisfiable {
 		t.Fatal("conflicting wide set reported satisfiable under splitting")
+	}
+}
+
+// TestStragglerSplitBranchesRequeued is the TTL straggler-splitting
+// contract, checked on both executors: with a tiny TTL every unit splits,
+// the carved-off branches must be re-enqueued and run (a quiescent run
+// executes the original units plus every split branch, so UnitsRun exceeds
+// UnitsSplit), and the verdict must equal SeqSat's with a witness that is
+// still a model.
+func TestStragglerSplitBranchesRequeued(t *testing.T) {
+	mkWide := func(name string, val string) *gfd.GFD {
+		p := pattern.New()
+		h := p.AddVar("h", "a")
+		for i := 0; i < 3; i++ {
+			s := p.AddVar(fmt.Sprintf("s%d", i), "b")
+			p.AddEdge(h, s, "p")
+		}
+		return gfd.MustNew(name, p, nil, []gfd.Literal{gfd.Const(h, "A", val)})
+	}
+	set := gfd.NewSet()
+	for i := 0; i < 6; i++ {
+		set.Add(mkWide(fmt.Sprintf("w%d", i), "1"))
+	}
+	want := SeqSat(set)
+	for _, stealing := range []bool{true, false} {
+		name := map[bool]string{true: "stealing", false: "central"}[stealing]
+		for _, workers := range []int{1, 4} {
+			opt := DefaultParOptions(workers)
+			opt.Stealing = stealing
+			opt.TTL = 1 * time.Nanosecond // force a split at every check
+			res := ParSat(set, opt)
+			ctx := fmt.Sprintf("%s/p=%d", name, workers)
+			if res.Satisfiable != want.Satisfiable {
+				t.Fatalf("%s: ParSat=%v, SeqSat=%v", ctx, res.Satisfiable, want.Satisfiable)
+			}
+			if res.Model == nil || !IsModel(res.Model, set) {
+				t.Fatalf("%s: witness under aggressive splitting is not a model", ctx)
+			}
+			if res.Stats.UnitsSplit == 0 {
+				t.Fatalf("%s: TTL=1ns produced no splits; the splitting path went untested", ctx)
+			}
+			// Quiescence means every re-enqueued branch ran: total executions
+			// are the original units plus each split branch exactly once.
+			if res.Stats.UnitsRun <= res.Stats.UnitsSplit {
+				t.Fatalf("%s: UnitsRun=%d not above UnitsSplit=%d; split branches were dropped",
+					ctx, res.Stats.UnitsRun, res.Stats.UnitsSplit)
+			}
+		}
+	}
+}
+
+// TestStealingMatchesCentralStats sanity-checks the stealing executor's
+// bookkeeping on a quiescent run: both executors enforce the same matches
+// (Church–Rosser: identical converged relation), and the stealing run's
+// per-unit accounting is self-consistent.
+func TestStealingMatchesCentralStats(t *testing.T) {
+	phi5 := gfd.MustNew("phi5", q5(), nil, []gfd.Literal{gfd.Const(0, "A", "0")})
+	phi7 := gfd.MustNew("phi7", q6(), nil, []gfd.Literal{gfd.Const(0, "A", "0"), gfd.Const(1, "B", "1")})
+	set := gfd.NewSet(phi5, phi7)
+	central := DefaultParOptions(4)
+	central.Stealing = false
+	stealing := DefaultParOptions(4)
+	rc := ParSat(set, central)
+	rs := ParSat(set, stealing)
+	if rc.Satisfiable != rs.Satisfiable {
+		t.Fatalf("executors disagree: central=%v stealing=%v", rc.Satisfiable, rs.Satisfiable)
+	}
+	if rc.Stats.Enforcements != rs.Stats.Enforcements {
+		t.Fatalf("enforcement counts diverge on a quiescent run: central=%d stealing=%d",
+			rc.Stats.Enforcements, rs.Stats.Enforcements)
+	}
+	if rs.Stats.UnitsStolen < 0 || rs.Stats.UnitsStolen > rs.Stats.UnitsRun {
+		t.Fatalf("stolen units %d out of range (run %d)", rs.Stats.UnitsStolen, rs.Stats.UnitsRun)
+	}
+	if rc.Stats.UnitsStolen != 0 {
+		t.Fatalf("central executor reported %d stolen units", rc.Stats.UnitsStolen)
 	}
 }

@@ -179,6 +179,19 @@ func (p *Profile) SampleFrozen(cfg GraphConfig) *graph.Frozen {
 	return b.Freeze()
 }
 
+// SampleSharded is SampleFrozen pre-partitioned into shards for the
+// parallel consumers (the fan-out matcher, per-worker placement). Pass
+// shards <= 0 for graph.DefaultShardCount.
+func (p *Profile) SampleSharded(cfg GraphConfig, shards int) *graph.Sharded {
+	cfg = cfg.withDefaults()
+	if shards <= 0 {
+		shards = graph.DefaultShardCount(cfg.Nodes)
+	}
+	b := graph.NewBuilder(cfg.Nodes * cfg.EdgesPerNode)
+	p.sampleInto(b, cfg)
+	return b.FreezeSharded(shards)
+}
+
 func (cfg GraphConfig) withDefaults() GraphConfig {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1000

@@ -141,3 +141,30 @@ func TestSampleFrozenEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestSampleShardedEquivalence pins the sharded emitter: the same synthesis
+// as SampleFrozen, pre-partitioned, with shards<=0 resolving to the default
+// shard count.
+func TestSampleShardedEquivalence(t *testing.T) {
+	p := YAGO2()
+	cfg := GraphConfig{Nodes: 60, EdgesPerNode: 4, Seed: 3}
+	f := p.SampleFrozen(cfg)
+	s := p.SampleSharded(cfg, 4)
+	if s.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", s.ShardCount())
+	}
+	if s.NumNodes() != f.NumNodes() || s.NumEdges() != f.NumEdges() {
+		t.Fatalf("cardinalities diverge: sharded (%d,%d) frozen (%d,%d)",
+			s.NumNodes(), s.NumEdges(), f.NumNodes(), f.NumEdges())
+	}
+	for v := 0; v < f.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		mo, so := f.OutByLabel(id, graph.Wildcard), s.OutByLabel(id, graph.Wildcard)
+		if fmt.Sprint(mo) != fmt.Sprint(so) {
+			t.Fatalf("adjacency of %d diverges: %v vs %v", v, mo, so)
+		}
+	}
+	if p.SampleSharded(cfg, 0).ShardCount() < 1 {
+		t.Fatal("default shard count not positive")
+	}
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestShardedEquivalence is the sharding-equivalence property: on random
+// multigraphs, the Sharded snapshot must answer every Reader query exactly
+// like the Frozen snapshot it was carved from, at every shard count.
+func TestShardedEquivalence(t *testing.T) {
+	nodeLabels := []string{"a", "b", "c", Wildcard}
+	edgeLabels := []string{"e", "f", "g", Wildcard}
+	queryEdgeLabels := append(edgeLabels, "absent")
+	for seed := int64(0); seed < 6; seed++ {
+		n := 5 + rand.New(rand.NewSource(seed)).Intn(20)
+		_, f := buildBoth(seed, n, 4*n, nodeLabels, edgeLabels)
+		for _, k := range []int{1, 2, 3, 7, n, n + 5} {
+			s := f.Sharded(k)
+			ctx := fmt.Sprintf("seed=%d n=%d k=%d", seed, n, k)
+			if s.NumNodes() != f.NumNodes() || s.NumEdges() != f.NumEdges() || s.Size() != f.Size() {
+				t.Fatalf("%s: cardinalities diverge", ctx)
+			}
+			for v := 0; v < n; v++ {
+				id := NodeID(v)
+				for _, l := range queryEdgeLabels {
+					if !idsEqual(s.OutByLabel(id, l), f.OutByLabel(id, l)) {
+						t.Fatalf("%s: OutByLabel(%d,%q) diverges", ctx, v, l)
+					}
+					if !idsEqual(s.InByLabel(id, l), f.InByLabel(id, l)) {
+						t.Fatalf("%s: InByLabel(%d,%q) diverges", ctx, v, l)
+					}
+					for u := 0; u < n; u++ {
+						if s.HasEdge(id, NodeID(u), l) != f.HasEdge(id, NodeID(u), l) {
+							t.Fatalf("%s: HasEdge(%d,%d,%q) diverges", ctx, v, u, l)
+						}
+					}
+				}
+			}
+			for _, l := range append(f.Labels(), "absent", Wildcard) {
+				if !idsEqual(s.CandidateNodes(l), f.CandidateNodes(l)) {
+					t.Fatalf("%s: CandidateNodes(%q) diverges", ctx, l)
+				}
+				if s.LabelFrequency(l) != f.LabelFrequency(l) {
+					t.Fatalf("%s: LabelFrequency(%q) diverges", ctx, l)
+				}
+			}
+		}
+	}
+}
+
+// TestShardPartition pins the routing layer: every node is owned by exactly
+// one shard, ShardOf agrees with ShardBounds, per-shard candidate lists
+// concatenated in shard order reproduce the global ascending candidate
+// list, and per-shard edge counts sum to |E|.
+func TestShardPartition(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		n := 10 + rand.New(rand.NewSource(seed)).Intn(30)
+		_, f := buildBoth(seed, n, 5*n, []string{"a", "b", "c"}, []string{"e", "f"})
+		for _, k := range []int{1, 2, 4, 9} {
+			s := f.Sharded(k)
+			ctx := fmt.Sprintf("seed=%d n=%d k=%d", seed, n, k)
+			if s.ShardCount() < 1 || s.ShardCount() > k {
+				t.Fatalf("%s: ShardCount=%d out of range", ctx, s.ShardCount())
+			}
+			owned := make([]int, n)
+			edges := 0
+			for i := 0; i < s.ShardCount(); i++ {
+				sh := s.Shard(i)
+				lo, hi := s.ShardBounds(i)
+				if sh.Lo() != lo || sh.Hi() != hi {
+					t.Fatalf("%s: shard %d bounds mismatch", ctx, i)
+				}
+				for v := lo; v < hi; v++ {
+					owned[v]++
+					if s.ShardOf(v) != i {
+						t.Fatalf("%s: ShardOf(%d)=%d, owner is %d", ctx, v, s.ShardOf(v), i)
+					}
+				}
+				edges += sh.NumEdges()
+			}
+			for v, c := range owned {
+				if c != 1 {
+					t.Fatalf("%s: node %d owned by %d shards", ctx, v, c)
+				}
+			}
+			if edges != f.NumEdges() {
+				t.Fatalf("%s: shard edges sum to %d, want %d", ctx, edges, f.NumEdges())
+			}
+			for _, l := range append(f.Labels(), Wildcard, "absent") {
+				var concat []NodeID
+				for i := 0; i < s.ShardCount(); i++ {
+					concat = s.Shard(i).AppendCandidates(concat, l)
+				}
+				if !idsEqual(concat, f.CandidateNodes(l)) {
+					t.Fatalf("%s: per-shard candidates for %q concat to %v, want %v",
+						ctx, l, concat, f.CandidateNodes(l))
+				}
+			}
+		}
+	}
+}
+
+// TestShardFrontierCounts pins the frontier accounting against a brute
+// count over the raw edges.
+func TestShardFrontierCounts(t *testing.T) {
+	g, f := buildBoth(3, 25, 120, []string{"a", "b"}, []string{"e", "f"})
+	for _, k := range []int{2, 3, 5} {
+		s := f.Sharded(k)
+		for i := 0; i < s.ShardCount(); i++ {
+			lo, hi := s.ShardBounds(i)
+			wantOut, wantIn := 0, 0
+			for v := 0; v < g.NumNodes(); v++ {
+				for _, e := range f.Out(NodeID(v)) {
+					if e.From >= lo && e.From < hi && (e.To < lo || e.To >= hi) {
+						wantOut++
+					}
+					if e.To >= lo && e.To < hi && (e.From < lo || e.From >= hi) {
+						wantIn++
+					}
+				}
+			}
+			gotOut, gotIn := s.FrontierEdges(i)
+			if gotOut != wantOut || gotIn != wantIn {
+				t.Fatalf("k=%d shard %d: frontier (%d,%d), want (%d,%d)", k, i, gotOut, gotIn, wantOut, wantIn)
+			}
+		}
+	}
+}
+
+// TestShardReaderRestriction pins the Shard Reader semantics: owned nodes
+// answer exactly like the flat snapshot, unowned nodes read as edge-less,
+// and candidate enumeration stays within the owned range.
+func TestShardReaderRestriction(t *testing.T) {
+	_, f := buildBoth(11, 30, 150, []string{"a", "b", "c"}, []string{"e", "f"})
+	s := f.Sharded(3)
+	for i := 0; i < s.ShardCount(); i++ {
+		sh := s.Shard(i)
+		lo, hi := sh.Lo(), sh.Hi()
+		for v := NodeID(0); v < NodeID(f.NumNodes()); v++ {
+			for _, l := range []string{"e", "f", Wildcard} {
+				got := sh.OutByLabel(v, l)
+				if v >= lo && v < hi {
+					if !idsEqual(got, f.OutByLabel(v, l)) {
+						t.Fatalf("shard %d: owned OutByLabel(%d,%q) diverges", i, v, l)
+					}
+				} else if len(got) != 0 {
+					t.Fatalf("shard %d: unowned node %d has adjacency %v", i, v, got)
+				}
+			}
+			// Node metadata stays globally readable.
+			if sh.Label(v) != f.Label(v) {
+				t.Fatalf("shard %d: Label(%d) diverges", i, v)
+			}
+		}
+		for _, l := range []string{"a", "b", "c", Wildcard} {
+			for _, v := range sh.CandidateNodes(l) {
+				if v < lo || v >= hi {
+					t.Fatalf("shard %d: candidate %d outside [%d,%d)", i, v, lo, hi)
+				}
+			}
+			if sh.LabelFrequency(l) != len(sh.CandidateNodes(l)) {
+				t.Fatalf("shard %d: LabelFrequency(%q) disagrees with CandidateNodes", i, l)
+			}
+		}
+	}
+}
+
+// TestShardedDensestShard pins the placement probe the pivot heuristic
+// uses: it must return the shard whose owned candidate count is maximal.
+func TestShardedDensestShard(t *testing.T) {
+	b := NewBuilder(0)
+	// 8 nodes: shard 0 gets 3 "a", shard 1 gets 1 "a" and 3 "b".
+	for _, l := range []string{"a", "a", "a", "c", "a", "b", "b", "b"} {
+		b.AddNode(l)
+	}
+	s := b.FreezeSharded(2)
+	if sh, c := s.DensestShard("a"); sh != 0 || c != 3 {
+		t.Fatalf(`DensestShard("a") = (%d,%d), want (0,3)`, sh, c)
+	}
+	if sh, c := s.DensestShard("b"); sh != 1 || c != 3 {
+		t.Fatalf(`DensestShard("b") = (%d,%d), want (1,3)`, sh, c)
+	}
+	if _, c := s.DensestShard("absent"); c != 0 {
+		t.Fatalf(`DensestShard("absent") count = %d, want 0`, c)
+	}
+	if sh, c := s.DensestShard(Wildcard); sh != 0 || c != 4 {
+		t.Fatalf("DensestShard(wildcard) = (%d,%d), want (0,4)", sh, c)
+	}
+}
+
+// TestShardedClamping pins the degenerate shapes: k below 1, k above the
+// node count, and the empty graph.
+func TestShardedClamping(t *testing.T) {
+	_, f := buildBoth(5, 7, 20, []string{"a"}, []string{"e"})
+	if got := f.Sharded(0).ShardCount(); got != 1 {
+		t.Fatalf("k=0 clamped to %d shards, want 1", got)
+	}
+	if got := f.Sharded(100).ShardCount(); got != 7 {
+		t.Fatalf("k=100 on 7 nodes gave %d shards, want 7", got)
+	}
+	empty := NewBuilder(0).FreezeSharded(4)
+	if empty.ShardCount() != 1 || empty.NumNodes() != 0 {
+		t.Fatalf("empty graph sharded oddly: K=%d V=%d", empty.ShardCount(), empty.NumNodes())
+	}
+	if DefaultShardCount(0) != 1 {
+		t.Fatal("DefaultShardCount(0) must be 1")
+	}
+	if DefaultShardCount(1<<20) < 1 {
+		t.Fatal("DefaultShardCount must be positive")
+	}
+}

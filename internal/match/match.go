@@ -51,7 +51,11 @@ type Search struct {
 	// given node set (the d_Q-neighborhood of the unit's pivot).
 	restrict map[pattern.Var]map[graph.NodeID]bool
 	filter   func(pattern.Var, graph.NodeID) bool
-	scan     bool
+	// rootCands, when non-nil, replaces the label-index candidate pull for
+	// the first open variable (the root frame): the shard fan-out partitions
+	// the root candidate set this way. All downstream pruning still applies.
+	rootCands []graph.NodeID
+	scan      bool
 	// vars holds per-variable pre-resolved label IDs so the inner loops
 	// never hash a string: pattern edge labels aligned with p.Out/p.In, and
 	// the variable's pruning signature.
@@ -101,6 +105,17 @@ type Options struct {
 	Seed Assignment
 	// Restrict limits candidates per variable.
 	Restrict map[pattern.Var]map[graph.NodeID]bool
+	// RootCandidates, when non-nil, is the base candidate list for the first
+	// open variable in Order, replacing the graph's label index for that one
+	// frame. The list must be ascending and label-consistent with the
+	// variable (e.g. one shard's slice of the label index); signature
+	// pruning, Filter and Restrict still apply on top. Running one search
+	// per part of a partition of the root candidate set enumerates exactly
+	// the full match set, partitioned — the basis of the sharded fan-out.
+	// Ignored when a Seed is present: a seeded search generates its first
+	// open frame from the seeded neighbors' adjacency, so a root partition
+	// would not partition the match set.
+	RootCandidates []graph.NodeID
 	// Filter, when non-nil, limits candidates further (e.g. to a simulation
 	// relation) without allocating per-search sets.
 	Filter func(pattern.Var, graph.NodeID) bool
@@ -142,14 +157,15 @@ func NewSearch(p *pattern.Pattern, g graph.Reader, opts Options) *Search {
 		order = DefaultOrder(p)
 	}
 	s := &Search{
-		p:        p,
-		g:        g,
-		order:    order,
-		restrict: opts.Restrict,
-		filter:   opts.Filter,
-		scan:     opts.Scan,
-		assign:   NewAssignment(p.NumVars()),
-		seeded:   make([]bool, p.NumVars()),
+		p:         p,
+		g:         g,
+		order:     order,
+		restrict:  opts.Restrict,
+		filter:    opts.Filter,
+		rootCands: opts.RootCandidates,
+		scan:      opts.Scan,
+		assign:    NewAssignment(p.NumVars()),
+		seeded:    make([]bool, p.NumVars()),
 	}
 	s.vars = make([]varIndex, p.NumVars())
 	for v := range s.vars {
@@ -164,6 +180,9 @@ func NewSearch(p *pattern.Pattern, g graph.Reader, opts Options) *Search {
 		vx.sigIn = g.ResolveLabels(sig.In)
 	}
 	if opts.Seed != nil {
+		// See Options.RootCandidates: a root partition is meaningless once
+		// variables are pre-assigned.
+		s.rootCands = nil
 		for v, n := range opts.Seed {
 			if n != graph.InvalidNode {
 				s.assign[v] = n
@@ -359,8 +378,14 @@ func (s *Search) candidates(v pattern.Var, buf []graph.NodeID) (cands []graph.No
 	}
 	if !gen {
 		// Fill from the label index via the appending accessor, so the
-		// per-depth scratch buffer is the only storage touched.
-		base = s.g.AppendCandidates(base, label)
+		// per-depth scratch buffer is the only storage touched. The root
+		// frame (depth 0) draws from the caller-provided partition slice
+		// instead when one was configured.
+		if s.rootCands != nil && len(s.stack) == 0 {
+			base = append(base, s.rootCands...)
+		} else {
+			base = s.g.AppendCandidates(base, label)
+		}
 		if !s.scan && (len(s.vars[v].sigOut) > 0 || len(s.vars[v].sigIn) > 0) {
 			// Signature pruning: drop nodes whose out/in edge labels cannot
 			// cover v's pattern edges. Sound (never drops a real match) and
