@@ -351,6 +351,62 @@ func BenchmarkParSatSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkRefreezeIncremental measures Frozen.Refreeze merging a 1% delta
+// into the 100k-edge hub-heavy ingest base (bench.RefreezeWorkload, the
+// workload the CI gate's refreeze_speedup ratio is measured on). Each
+// iteration refreezes a pre-built delta whose overlay already materialized
+// the merged rows — the lifecycle position Refreeze runs in. Compare with
+// BenchmarkRefreezeRebuild for the incremental speedup.
+func BenchmarkRefreezeIncremental(b *testing.B) {
+	base, mkDelta, _, _, _ := bench.RefreezeWorkload(1)
+	d := mkDelta()
+	d.Overlay()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.Refreeze(d)
+	}
+}
+
+// BenchmarkRefreezeRebuild is the from-scratch comparison: Builder.Freeze
+// over the final-state edge arrays of the same workload.
+func BenchmarkRefreezeRebuild(b *testing.B) {
+	_, _, from, to, lab := bench.RefreezeWorkload(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.IngestFrozen(from, to, lab)
+	}
+}
+
+// BenchmarkRevalidateIncremental measures core.Revalidate re-validating the
+// triangle workload after a small delta (bench.ValidateWorkload, the CI
+// gate's incr_validate_speedup workload). Compare with
+// BenchmarkRevalidateFull.
+func BenchmarkRevalidateIncremental(b *testing.B) {
+	set, base, delta, err := bench.ValidateWorkload(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := core.Violations(base, set)
+	delta.Overlay()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RevalidateDelta(set, delta, prev, core.RevalidateOptions{})
+	}
+}
+
+// BenchmarkRevalidateFull is the full recomputation over the same overlay.
+func BenchmarkRevalidateFull(b *testing.B) {
+	set, _, delta, err := bench.ValidateWorkload(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	overlay := delta.Overlay()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Violations(overlay, set)
+	}
+}
+
 // BenchmarkFig6lVaryTTLImp reproduces Fig. 6(l): the TTL sweep for
 // implication.
 func BenchmarkFig6lVaryTTLImp(b *testing.B) {

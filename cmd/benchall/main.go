@@ -42,7 +42,7 @@ func run() int {
 	scale := flag.Float64("scale", 0.025, "fraction of the paper's workload sizes (1.0 = paper scale)")
 	reps := flag.Int("reps", 3, "repetitions per cell (median reported)")
 	seed := flag.Int64("seed", 1, "workload seed")
-	only := flag.String("only", "", "run a single experiment (e.g. fig5, fig6a ... fig6l, sharded)")
+	only := flag.String("only", "", "run a single experiment (e.g. fig5, fig6a ... fig6l, sharded, incremental)")
 	ciOut := flag.String("ci", "", "run the CI benchmark-regression suite and write its JSON report to this path")
 	baseline := flag.String("baseline", "", "with -ci: compare against this baseline report, exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "with -baseline: allowed fractional regression per gating metric")

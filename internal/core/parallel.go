@@ -133,7 +133,7 @@ type parEngine struct {
 	ranks    []int
 
 	log     *cluster.Log
-	steal   *stealState // non-nil on work-stealing runs
+	steal   *stealState[unit] // non-nil on work-stealing runs
 	stopped atomic.Bool
 }
 
@@ -143,26 +143,28 @@ type parEngine struct {
 // sequence number so a wakeup between a worker's empty scan and its wait
 // is never lost). There is no busy-polling: a worker that finds every
 // deque empty sleeps until a split pushes new work, the last unit
-// completes, or the run is stopped.
-type stealState struct {
-	deques  []*cluster.Deque[unit]
+// completes, or the run is stopped. It is generic over the unit type so the
+// same executor schedules both the reasoning engines (ParSat/ParImp units)
+// and incremental revalidation (per-GFD rescope tasks, revalidate.go).
+type stealState[T any] struct {
+	deques  []*cluster.Deque[T]
 	pending atomic.Int64
 	mu      sync.Mutex
 	cond    *sync.Cond
 	seq     uint64 // bumped under mu by every wake
 }
 
-func newStealState(p int) *stealState {
-	st := &stealState{deques: make([]*cluster.Deque[unit], p)}
+func newStealState[T any](p int) *stealState[T] {
+	st := &stealState[T]{deques: make([]*cluster.Deque[T], p)}
 	for i := range st.deques {
-		st.deques[i] = cluster.NewDeque[unit]()
+		st.deques[i] = cluster.NewDeque[T]()
 	}
 	st.cond = sync.NewCond(&st.mu)
 	return st
 }
 
 // wake bumps the sequence number and wakes every waiter.
-func (st *stealState) wake() {
+func (st *stealState[T]) wake() {
 	st.mu.Lock()
 	st.seq++
 	st.cond.Broadcast()
@@ -173,7 +175,7 @@ func (st *stealState) wake() {
 // split branches run on the arrays their parent just warmed). pending is
 // raised before the push so no thief can complete the new work and drive
 // pending to zero while it is still being published.
-func (st *stealState) addWork(owner int, units []unit) {
+func (st *stealState[T]) addWork(owner int, units []T) {
 	st.pending.Add(int64(len(units)))
 	st.deques[owner].PushFront(units...)
 	st.wake()
@@ -181,9 +183,59 @@ func (st *stealState) addWork(owner int, units []unit) {
 
 // finishUnit retires one unit; the last one wakes the waiters so they can
 // observe quiescence.
-func (st *stealState) finishUnit() {
+func (st *stealState[T]) finishUnit() {
 	if st.pending.Add(-1) == 0 {
 		st.wake()
+	}
+}
+
+// grab returns a unit from worker id's own deque front, else from the back
+// of the first non-empty peer deque (scanning from the next worker up, so
+// victims spread); steals increment *stolen.
+func (st *stealState[T]) grab(id int, stolen *int) (T, bool) {
+	if u, ok := st.deques[id].PopFront(); ok {
+		return u, true
+	}
+	p := len(st.deques)
+	for i := 1; i < p; i++ {
+		if u, ok := st.deques[(id+i)%p].PopBack(); ok {
+			*stolen++
+			return u, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// take returns the next unit for worker id, blocking while every deque is
+// empty but units are still in flight (their splits may yet publish new
+// work). It returns ok=false on global quiescence or when stopped reports
+// true. The sequence-number handshake with wake closes the scan-then-sleep
+// race: a push between the empty scan and the wait bumps seq, so the wait
+// is skipped.
+func (st *stealState[T]) take(id int, stopped func() bool, stolen *int) (T, bool) {
+	var zero T
+	for {
+		if stopped() {
+			return zero, false
+		}
+		if u, ok := st.grab(id, stolen); ok {
+			return u, true
+		}
+		st.mu.Lock()
+		seq := st.seq
+		st.mu.Unlock()
+		if u, ok := st.grab(id, stolen); ok {
+			return u, true
+		}
+		if st.pending.Load() == 0 {
+			return zero, false
+		}
+		st.mu.Lock()
+		for st.seq == seq && st.pending.Load() > 0 && !stopped() {
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
 	}
 }
 
@@ -527,7 +579,7 @@ func (e *parEngine) runStealing() (con *eq.Conflict, goalHit bool, final *eq.Eq,
 		p = 1
 	}
 	e.log = cluster.NewLog()
-	st := newStealState(p)
+	st := newStealState[unit](p)
 	e.steal = st
 
 	// Seed: stripe units across deques in global rank order, so every
@@ -603,53 +655,10 @@ func (w *parWorker) workPhase() {
 	}
 }
 
-// grab returns a unit from the worker's own deque front, else from the back
-// of the first non-empty peer deque (scanning from the next worker up, so
-// victims spread).
-func (w *parWorker) grab() (unit, bool) {
-	st := w.eng.steal
-	if u, ok := st.deques[w.id].PopFront(); ok {
-		return u, true
-	}
-	p := len(st.deques)
-	for i := 1; i < p; i++ {
-		if u, ok := st.deques[(w.id+i)%p].PopBack(); ok {
-			w.enf.stats.UnitsStolen++
-			return u, true
-		}
-	}
-	return unit{}, false
-}
-
-// take returns the next unit to run, blocking while every deque is empty
-// but units are still in flight (their splits may yet publish new work).
-// It returns ok=false on global quiescence or stop. The sequence-number
-// handshake with stealState.wake closes the scan-then-sleep race: a push
-// between the empty scan and the wait bumps seq, so the wait is skipped.
+// take returns the next unit to run via the shared work-stealing state,
+// charging steals to the worker's stats.
 func (w *parWorker) take() (unit, bool) {
-	st := w.eng.steal
-	for {
-		if w.eng.stopped.Load() {
-			return unit{}, false
-		}
-		if u, ok := w.grab(); ok {
-			return u, true
-		}
-		st.mu.Lock()
-		seq := st.seq
-		st.mu.Unlock()
-		if u, ok := w.grab(); ok {
-			return u, true
-		}
-		if st.pending.Load() == 0 {
-			return unit{}, false
-		}
-		st.mu.Lock()
-		for st.seq == seq && st.pending.Load() > 0 && !w.eng.stopped.Load() {
-			st.cond.Wait()
-		}
-		st.mu.Unlock()
-	}
+	return w.eng.steal.take(w.id, w.eng.stopped.Load, &w.enf.stats.UnitsStolen)
 }
 
 // parWorker is one worker P_i: an Eq replica, a pending index, and a cursor

@@ -1,0 +1,221 @@
+// Incremental revalidation: maintaining Violations(G, Σ) across a graph
+// delta without re-running full match enumeration. The soundness argument
+// lives with the scoping primitive (see internal/match/incremental.go): a
+// match whose image avoids the delta's touched nodes is bitwise-identical —
+// same edges, same attributes — in both versions of the graph, so its
+// violation status carries over unexamined; every match that could have
+// appeared, vanished, or flipped keeps its root variable within the
+// pattern's radius of a touched node in the version of the graph it exists
+// in. Revalidate therefore re-enumerates only the root candidates inside
+// that radius-neighborhood (computed on both the old and the updated graph,
+// so removed edges cannot hide a dying match) and splices the result into
+// the carried-over remainder.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/pattern"
+)
+
+// RevalidateOptions configures Revalidate.
+type RevalidateOptions struct {
+	// Workers fans the per-GFD revalidation tasks out over the same
+	// work-stealing executor the reasoning engines use (per-worker deques,
+	// idle workers steal from peer backs); <= 1 runs sequentially.
+	Workers int
+}
+
+// RevalidateStats counts the work an incremental revalidation performed;
+// compare Reenumerated against the graph's full match volume to see what
+// the delta scoping saved.
+type RevalidateStats struct {
+	GFDs         int // patterns revalidated
+	Scoped       int // patterns whose re-enumeration was hood-scoped
+	Full         int // patterns re-enumerated in full (disconnected patterns)
+	Kept         int // prior violations carried over unexamined
+	Reenumerated int // matches re-enumerated inside the scope
+	UnitsStolen  int // revalidation tasks taken from another worker's deque
+}
+
+func (s *RevalidateStats) add(other RevalidateStats) {
+	s.GFDs += other.GFDs
+	s.Scoped += other.Scoped
+	s.Full += other.Full
+	s.Kept += other.Kept
+	s.Reenumerated += other.Reenumerated
+	s.UnitsStolen += other.UnitsStolen
+}
+
+// Revalidate computes Violations(updated, Σ) from the complete violation
+// set prev of the pre-delta graph old, re-enumerating only matches whose
+// root falls inside the touched set's radius-neighborhood. touched is the
+// delta's touched node set (graph.Delta.TouchedNodes); old and updated are
+// the two versions of the graph — typically the delta's base and its
+// Overlay (or the Refreeze output; any Reader pair whose difference is
+// confined to touched works). The result equals Violations(updated, Σ),
+// violation for violation in the same order, which the equivalence tests
+// pin.
+func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID, prev []Violation, opt RevalidateOptions) ([]Violation, RevalidateStats) {
+	var stats RevalidateStats
+	n := set.Len()
+	stats.GFDs = n
+	prevBy := make(map[*gfd.GFD][]Violation, n)
+	for _, v := range prev {
+		prevBy[v.GFD] = append(prevBy[v.GFD], v)
+	}
+	// Neighborhoods are shared across GFDs with equal pattern radius and
+	// computed up front, so the parallel workers read them without
+	// synchronization. Removed edges exist only in old, added ones only in
+	// updated; the union neighborhood covers matches dying in the former
+	// and matches born in the latter.
+	hoods := make(map[int]map[graph.NodeID]bool)
+	for _, phi := range set.GFDs {
+		p := phi.Pattern
+		if !p.Connected() || p.NumVars() == 0 {
+			continue
+		}
+		r := p.Radius(match.DefaultOrder(p)[0])
+		if _, ok := hoods[r]; ok {
+			continue
+		}
+		hood := match.MultiSourceNeighborhood(old, touched, r)
+		for v := range match.MultiSourceNeighborhood(updated, touched, r) {
+			hood[v] = true
+		}
+		hoods[r] = hood
+	}
+
+	results := make([][]Violation, n)
+	run := func(gi int, st *RevalidateStats) {
+		phi := set.GFDs[gi]
+		results[gi] = revalidateGFD(phi, updated, hoods, prevBy[phi], st)
+	}
+	workers := opt.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for gi := 0; gi < n; gi++ {
+			run(gi, &stats)
+		}
+	} else {
+		st := newStealState[int](workers)
+		st.pending.Store(int64(n))
+		for gi := 0; gi < n; gi++ {
+			st.deques[gi%workers].PushBack(gi)
+		}
+		perStats := make([]RevalidateStats, workers)
+		never := func() bool { return false }
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for {
+					gi, ok := st.take(id, never, &perStats[id].UnitsStolen)
+					if !ok {
+						return
+					}
+					run(gi, &perStats[id])
+					st.finishUnit()
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, s := range perStats {
+			stats.add(s)
+		}
+	}
+	var out []Violation
+	for _, vs := range results {
+		out = append(out, vs...)
+	}
+	return out, stats
+}
+
+// RevalidateDelta is Revalidate against a delta's own base, overlay and
+// touched set — the one-call form for the Graph → Freeze → Delta lifecycle.
+func RevalidateDelta(set *gfd.Set, d *graph.Delta, prev []Violation, opt RevalidateOptions) ([]Violation, RevalidateStats) {
+	return Revalidate(set, d.Base(), d.Overlay(), d.TouchedNodes(), prev, opt)
+}
+
+// revalidateGFD revalidates one GFD: carry over prior violations rooted
+// outside the hood, re-enumerate matches rooted inside it, and restore the
+// sequential enumeration order. Disconnected patterns fall back to a full
+// re-enumeration — a match of such a pattern is a cross product of
+// independent component matches, so a change in any component invalidates
+// combinations whose root component lies arbitrarily far from the delta.
+func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.NodeID]bool, prev []Violation, st *RevalidateStats) []Violation {
+	p := phi.Pattern
+	order := match.DefaultOrder(p)
+	if len(order) == 0 {
+		return nil
+	}
+	var out []Violation
+	violates := func(h match.Assignment) bool {
+		return holdsLiterals(updated, h, phi.X) && !holdsLiterals(updated, h, phi.Y)
+	}
+	if !p.Connected() {
+		st.Full++
+		s := match.NewSearch(p, updated, match.Options{})
+		for {
+			h, ok := s.Next()
+			if !ok {
+				return out
+			}
+			st.Reenumerated++
+			if violates(h) {
+				out = append(out, Violation{GFD: phi, Match: h})
+			}
+		}
+	}
+	st.Scoped++
+	root := order[0]
+	hood := hoods[p.Radius(root)]
+	for _, v := range prev {
+		if !hood[v.Match[root]] {
+			out = append(out, v)
+			st.Kept++
+		}
+	}
+	if cands := match.ScopedRootCandidates(p, updated, order, hood); len(cands) > 0 {
+		s := match.NewSearch(p, updated, match.Options{RootCandidates: cands})
+		for {
+			h, ok := s.Next()
+			if !ok {
+				break
+			}
+			st.Reenumerated++
+			if violates(h) {
+				out = append(out, Violation{GFD: phi, Match: h})
+			}
+		}
+	}
+	// The carried-over and re-enumerated halves partition the violation set
+	// by root-in-hood; both are lexicographic in the variable order, and the
+	// sequential enumeration is exactly that lexicographic order (every
+	// search frame iterates an ascending candidate list), so one sort
+	// restores full-Violations order.
+	sortViolationsByOrder(out, order)
+	return out
+}
+
+// sortViolationsByOrder sorts violations of one pattern lexicographically
+// by the match projected through the variable order — the order a
+// sequential enumeration emits them in.
+func sortViolationsByOrder(vs []Violation, order []pattern.Var) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i].Match, vs[j].Match
+		for _, v := range order {
+			if a[v] != b[v] {
+				return a[v] < b[v]
+			}
+		}
+		return false
+	})
+}

@@ -192,6 +192,85 @@ func (p *Profile) SampleSharded(cfg GraphConfig, shards int) *graph.Sharded {
 	return b.FreezeSharded(shards)
 }
 
+// SampleDelta synthesizes an update stream of ops random updates against a
+// sampled snapshot, drawn from the same distributions as SampleGraph: added
+// nodes carry Zipf-skewed labels and the schema-determined attribute slice,
+// added edges use the deterministic label-pair edge labeling, removals drop
+// sampled existing edges (occasionally whole nodes), and attribute rewrites
+// redraw the small-domain noise values. Feed the result to
+// Frozen.Refreeze/Delta.Overlay for the continuously-changing-graph
+// workloads.
+func (p *Profile) SampleDelta(base *graph.Frozen, ops int, seed int64) *graph.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	d := graph.NewDelta(base)
+	labelIdx := make(map[string]int, len(p.NodeLabels))
+	for i, l := range p.NodeLabels {
+		labelIdx[l] = i
+	}
+	alive := func() (graph.NodeID, bool) {
+		for try := 0; try < 16 && d.NumNodes() > 0; try++ {
+			v := graph.NodeID(rng.Intn(d.NumNodes()))
+			if d.Alive(v) {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	edgeLabel := func(from, to graph.NodeID) string {
+		return p.EdgeLabels[(labelIdx[d.Label(from)]*7+labelIdx[d.Label(to)]*3)%len(p.EdgeLabels)]
+	}
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 15: // add a node with the schema attribute slice
+			li := zipfIndex(rng, len(p.NodeLabels), p.Zipf)
+			label := p.NodeLabels[li]
+			id := d.AddNode(label)
+			for a := 0; a < 3; a++ {
+				attr := p.Attrs[(li+a)%len(p.Attrs)]
+				if a%2 == 0 {
+					d.SetAttr(id, attr, fmt.Sprintf("%s-%s", label, attr))
+				} else {
+					d.SetAttr(id, attr, fmt.Sprintf("v%d", rng.Intn(8)))
+				}
+			}
+			if to, ok := alive(); ok && to != id {
+				d.AddEdge(id, to, edgeLabel(id, to))
+			}
+		case r < 50: // add an edge under the deterministic labeling
+			from, ok1 := alive()
+			to, ok2 := alive()
+			if !ok1 || !ok2 {
+				continue
+			}
+			d.AddEdge(from, to, edgeLabel(from, to))
+		case r < 70: // remove a sampled base edge
+			if base.NumNodes() == 0 {
+				continue
+			}
+			v := graph.NodeID(rng.Intn(base.NumNodes()))
+			es := base.Out(v)
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.Intn(len(es))]
+			d.RemoveEdge(e.From, e.To, e.Label)
+		case r < 94: // redraw an attribute value
+			v, ok := alive()
+			if !ok {
+				continue
+			}
+			li := labelIdx[d.Label(v)]
+			attr := p.Attrs[(li+rng.Intn(3))%len(p.Attrs)]
+			d.SetAttr(v, attr, fmt.Sprintf("v%d", rng.Intn(8)))
+		default:
+			if v, ok := alive(); ok {
+				d.RemoveNode(v)
+			}
+		}
+	}
+	return d
+}
+
 func (cfg GraphConfig) withDefaults() GraphConfig {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1000

@@ -168,3 +168,36 @@ func TestSampleShardedEquivalence(t *testing.T) {
 		t.Fatal("default shard count not positive")
 	}
 }
+
+// TestSampleDelta pins the profile update-stream generator: deterministic
+// per seed, actually mutating, and composable with Overlay/Refreeze.
+func TestSampleDelta(t *testing.T) {
+	p := DBpedia()
+	cfg := GraphConfig{Nodes: 300, EdgesPerNode: 3, Seed: 5}
+	base := p.SampleFrozen(cfg)
+	d1 := p.SampleDelta(base, 50, 9)
+	d2 := p.SampleDelta(base, 50, 9)
+	if d1.String() != d2.String() {
+		t.Fatalf("same seed drew different deltas: %v vs %v", d1, d2)
+	}
+	if d1.Len() == 0 {
+		t.Fatal("50 ops recorded nothing")
+	}
+	o := d1.Overlay()
+	nf := base.Refreeze(d1)
+	if nf.NumEdges() != o.NumEdges() || nf.NumNodes() != o.NumNodes() {
+		t.Fatalf("refreeze disagrees with overlay: (%d,%d) vs (%d,%d)",
+			nf.NumNodes(), nf.NumEdges(), o.NumNodes(), o.NumEdges())
+	}
+	edgeLabels := make(map[string]bool)
+	for _, l := range p.EdgeLabels {
+		edgeLabels[l] = true
+	}
+	for v := 0; v < o.NumNodes(); v++ {
+		for _, e := range o.Out(graph.NodeID(v)) {
+			if !edgeLabels[e.Label] {
+				t.Fatalf("edge label %q not in the profile", e.Label)
+			}
+		}
+	}
+}

@@ -599,6 +599,129 @@ func (g *Generator) DenseSharded(nodes, degree, shards int) *graph.Sharded {
 	return g.DenseFrozen(nodes, degree).Sharded(shards)
 }
 
+// ValidationSet builds one empty-antecedent GFD per schema triangle (up to
+// max), each asserting a W-consistent constant on the triangle's first
+// variable. Calling it *before* materializing a Consistent/Dense graph
+// forces the W rows those literals read, so the clean graph satisfies the
+// set and violations appear exactly where later updates perturb attributes
+// or close new triangles — the canonical validation workload for the
+// incremental-revalidation benchmarks (triangles have radius 1, so the
+// delta-scoped re-enumeration stays local).
+func (g *Generator) ValidationSet(max int) *gfd.Set {
+	set := gfd.NewSet()
+	for i, p := range SchemaTriangles(g.frequentEdges, max) {
+		a := g.attrFor(p.Label(0))
+		set.Add(gfd.MustNew(fmt.Sprintf("tri%d", i), p, nil,
+			[]gfd.Literal{gfd.Const(0, a, g.wOf(p.Label(0), a))}))
+	}
+	return set
+}
+
+// MutateDelta applies n random updates to the delta, schema-consistent like
+// the base materializations: added nodes carry W-consistent attributes and
+// wire into the schema, added edges follow the frequent-edge triples,
+// removals drop sampled base edges (and occasionally whole nodes), and
+// attribute rewrites split between W-consistent values and fresh noise
+// values that flip literal evaluations. The op mix mirrors a slowly
+// changing graph: mostly edge churn, some attribute churn, rare node churn.
+func (g *Generator) MutateDelta(d *graph.Delta, n int) {
+	base := d.Base()
+	alive := func() (graph.NodeID, bool) {
+		for try := 0; try < 16 && d.NumNodes() > 0; try++ {
+			v := graph.NodeID(g.rng.Intn(d.NumNodes()))
+			if d.Alive(v) {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	aliveTarget := func(label string) (graph.NodeID, bool) {
+		targets := base.CandidateNodes(label)
+		for try := 0; try < 8 && len(targets) > 0; try++ {
+			t := targets[g.rng.Intn(len(targets))]
+			if d.Alive(t) {
+				return t, true
+			}
+		}
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		switch r := g.rng.Intn(100); {
+		case r < 15: // add a node, schema-wired into the existing graph
+			l := g.headLabel()
+			id := d.AddNode(l)
+			for _, a := range g.cfg.Profile.Attrs {
+				if v, ok := g.w[[2]string{l, a}]; ok {
+					d.SetAttr(id, a, v)
+				} else if v, ok := g.w[[2]string{graph.Wildcard, a}]; ok {
+					d.SetAttr(id, a, v)
+				}
+			}
+			for _, fe := range g.triplesAt(l) {
+				if fe[0] != l {
+					continue
+				}
+				if t, ok := aliveTarget(fe[2]); ok {
+					d.AddEdge(id, t, fe[1])
+				}
+			}
+		case r < 45: // add a schema edge between existing nodes
+			v, ok := alive()
+			if !ok {
+				continue
+			}
+			var fes [][3]string
+			for _, fe := range g.triplesAt(d.Label(v)) {
+				if fe[0] == d.Label(v) {
+					fes = append(fes, fe)
+				}
+			}
+			if len(fes) == 0 {
+				continue
+			}
+			fe := fes[g.rng.Intn(len(fes))]
+			if t, ok := aliveTarget(fe[2]); ok {
+				d.AddEdge(v, t, fe[1])
+			}
+		case r < 65: // remove a sampled base edge (no-op if already gone)
+			if base.NumNodes() == 0 {
+				continue
+			}
+			v := graph.NodeID(g.rng.Intn(base.NumNodes()))
+			es := base.Out(v)
+			if len(es) == 0 {
+				continue
+			}
+			e := es[g.rng.Intn(len(es))]
+			d.RemoveEdge(e.From, e.To, e.Label)
+		case r < 92: // attribute rewrite: half consistent, half noise
+			v, ok := alive()
+			if !ok {
+				continue
+			}
+			attrs := g.cfg.Profile.Attrs
+			a := attrs[g.rng.Intn(len(attrs))]
+			if g.rng.Intn(2) == 0 {
+				d.SetAttr(v, a, g.wOf(d.Label(v), a))
+			} else {
+				d.SetAttr(v, a, fmt.Sprintf("noise%d", g.rng.Intn(16)))
+			}
+		default: // remove a node outright
+			if v, ok := alive(); ok {
+				d.RemoveNode(v)
+			}
+		}
+	}
+}
+
+// DenseDelta builds a fresh n-op update stream over the base snapshot; see
+// MutateDelta for the op mix.
+func (g *Generator) DenseDelta(base *graph.Frozen, n int) *graph.Delta {
+	d := graph.NewDelta(base)
+	g.MutateDelta(d, n)
+	return d
+}
+
 // denseEdges draws the label-dense edge set into the build target.
 func (g *Generator) denseEdges(gr graph.Sink, labels []string, degree int) {
 	byLabel := make(map[string][]graph.NodeID, 8)

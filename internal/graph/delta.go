@@ -1,0 +1,953 @@
+// Delta overlays: the middle tier of the snapshot lifecycle. A Frozen
+// snapshot is immutable, so before this layer any update forced a full
+// O(E log deg) rebuild. Delta records a small batch of updates — added
+// nodes, added/removed edges, attribute rewrites, node removals — against a
+// base snapshot; Overlay serves the full Reader API over base+delta with
+// exactly the flat snapshot's semantics (pinned by the overlay-equivalence
+// property tests), and Frozen.Refreeze (refreeze.go) merges the delta into a
+// fresh CSR by copying untouched rows verbatim. Cost tracks the delta, not
+// the graph: a touched node's row is re-materialized, an untouched node's
+// row is served (or copied) as-is.
+package graph
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// Delta is a mutable batch of updates bound to one base snapshot. Added
+// nodes extend the dense ID space at base.NumNodes(); edge adds/removes keep
+// final-state semantics (removing an added edge cancels the add, re-adding a
+// removed base edge cancels the remove); RemoveNode tombstones a node and
+// records the removal of every incident edge. The zero value is not usable;
+// construct with NewDelta. A Delta is not safe for concurrent use; the
+// Overlay and Refrozen snapshots taken from it are.
+type Delta struct {
+	base    *Frozen
+	version uint64 // bumped on every mutation; Overlay snapshots pin one
+
+	// Added nodes occupy IDs [base.NumNodes(), base.NumNodes()+len(nodes)).
+	nodes        []Node
+	nodeLabelOf  []LabelID // parallel to nodes
+	addedByLabel map[string][]NodeID
+
+	// Extension interning: new labels get IDs continuing the base tables, so
+	// base CSR probes with an extended ID simply miss (the base never stores
+	// such an ID) and no re-interning is needed anywhere.
+	nodeLabelIDs   map[string]LabelID
+	nodeLabelNames []string
+	labelIDs       map[string]LabelID
+	labelNames     []string
+
+	// Edge changes in final-state form. added/removed are disjoint, removed
+	// holds base edges only, added holds non-base edges only.
+	addedSet   map[edgeKey]struct{}
+	removedSet map[edgeKey]struct{}
+	addOut     map[NodeID]*labelAdj
+	addIn      map[NodeID]*labelAdj
+	delOut     map[NodeID]*labelAdj
+	delIn      map[NodeID]*labelAdj
+
+	// dead tombstones removed nodes (base or added); deadBase counts the
+	// base ones. attrs holds merged attribute maps for updated base nodes.
+	dead     map[NodeID]struct{}
+	deadBase int
+	attrs    map[NodeID]map[string]string
+
+	// Materialized merged rows for every touched node, shared by Overlay and
+	// Refreeze; rebuilt lazily when version moves.
+	rowsVersion uint64
+	outRows     map[NodeID]*row
+	inRows      map[NodeID]*row
+}
+
+// NewDelta returns an empty delta over the base snapshot.
+func NewDelta(base *Frozen) *Delta {
+	return &Delta{
+		base:         base,
+		addedByLabel: make(map[string][]NodeID),
+		nodeLabelIDs: make(map[string]LabelID),
+		labelIDs:     make(map[string]LabelID),
+		addedSet:     make(map[edgeKey]struct{}),
+		removedSet:   make(map[edgeKey]struct{}),
+		addOut:       make(map[NodeID]*labelAdj),
+		addIn:        make(map[NodeID]*labelAdj),
+		delOut:       make(map[NodeID]*labelAdj),
+		delIn:        make(map[NodeID]*labelAdj),
+		dead:         make(map[NodeID]struct{}),
+		attrs:        make(map[NodeID]map[string]string),
+	}
+}
+
+// Base returns the snapshot the delta is bound to.
+func (d *Delta) Base() *Frozen { return d.base }
+
+func (d *Delta) bump() { d.version++ }
+
+// baseN returns the size of the base ID space.
+func (d *Delta) baseN() int { return len(d.base.nodes) }
+
+func (d *Delta) valid(v NodeID) bool { return v >= 0 && int(v) < d.baseN()+len(d.nodes) }
+
+// alive reports whether v is valid and not tombstoned (in the base or here).
+func (d *Delta) alive(v NodeID) bool {
+	if !d.valid(v) {
+		return false
+	}
+	if _, dd := d.dead[v]; dd {
+		return false
+	}
+	return int(v) >= d.baseN() || d.base.Alive(v)
+}
+
+// internEdgeLabel resolves a data edge label to its ID, extending the base
+// tables on first use. Like Graph.internEdgeLabel it interns the literal
+// Wildcard too.
+func (d *Delta) internEdgeLabel(label string) LabelID {
+	if id, ok := d.base.labelIDs[label]; ok {
+		return id
+	}
+	if id, ok := d.labelIDs[label]; ok {
+		return id
+	}
+	id := LabelID(len(d.base.labelNames) + len(d.labelNames))
+	d.labelIDs[label] = id
+	d.labelNames = append(d.labelNames, label)
+	return id
+}
+
+// edgeLabelID resolves a label literally (no wildcard semantics), without
+// allocating: NoLabel when neither the base nor the delta knows it.
+func (d *Delta) edgeLabelID(label string) LabelID {
+	if id, ok := d.base.labelIDs[label]; ok {
+		return id
+	}
+	if id, ok := d.labelIDs[label]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// internNodeLabel is internEdgeLabel for node labels.
+func (d *Delta) internNodeLabel(label string) LabelID {
+	if id, ok := d.base.nodeLabelIDs[label]; ok {
+		return id
+	}
+	if id, ok := d.nodeLabelIDs[label]; ok {
+		return id
+	}
+	id := LabelID(len(d.base.nodeLabelNames) + len(d.nodeLabelNames))
+	d.nodeLabelIDs[label] = id
+	d.nodeLabelNames = append(d.nodeLabelNames, label)
+	return id
+}
+
+// AddNode appends a node with the given label and returns its ID, which
+// extends the base's dense ID space.
+func (d *Delta) AddNode(label string) NodeID {
+	id := NodeID(d.baseN() + len(d.nodes))
+	d.nodes = append(d.nodes, Node{ID: id, Label: label})
+	d.nodeLabelOf = append(d.nodeLabelOf, d.internNodeLabel(label))
+	d.addedByLabel[label] = append(d.addedByLabel[label], id)
+	d.bump()
+	return id
+}
+
+// AddNodeWithAttrs appends a node carrying the given attribute tuple.
+// The map is copied.
+func (d *Delta) AddNodeWithAttrs(label string, attrs map[string]string) NodeID {
+	id := d.AddNode(label)
+	for k, v := range attrs {
+		d.SetAttr(id, k, v)
+	}
+	return id
+}
+
+// NumNodes returns the overlaid ID-space size (base plus added slots,
+// tombstones included), completing the Sink interface so generators can
+// emit update streams straight into a delta.
+func (d *Delta) NumNodes() int { return d.baseN() + len(d.nodes) }
+
+// SetAttr sets attribute A of node v to constant value c, overriding the
+// base value if one exists. For a base node the full attribute tuple is
+// copied on first write, so the base snapshot stays untouched.
+func (d *Delta) SetAttr(v NodeID, attr, value string) {
+	if !d.alive(v) {
+		panic(fmt.Sprintf("graph: Delta.SetAttr on invalid or removed node %d", v))
+	}
+	if int(v) >= d.baseN() {
+		n := &d.nodes[int(v)-d.baseN()]
+		if n.Attrs == nil {
+			n.Attrs = make(map[string]string)
+		}
+		n.Attrs[attr] = value
+		d.bump()
+		return
+	}
+	m, ok := d.attrs[v]
+	if !ok {
+		base := d.base.Attrs(v)
+		m = make(map[string]string, len(base)+1)
+		for k, c := range base {
+			m[k] = c
+		}
+		d.attrs[v] = m
+	}
+	m[attr] = value
+	d.bump()
+}
+
+// adjOf returns the labelAdj for v in m, allocating on first use.
+func adjOf(m map[NodeID]*labelAdj, v NodeID) *labelAdj {
+	a := m[v]
+	if a == nil {
+		a = &labelAdj{}
+		m[v] = a
+	}
+	return a
+}
+
+// AddEdge inserts a directed labeled edge. Like Graph.AddEdge it is
+// idempotent per (from, label, to); re-adding an edge the delta removed
+// cancels the removal.
+func (d *Delta) AddEdge(from, to NodeID, label string) {
+	if !d.alive(from) || !d.alive(to) {
+		panic(fmt.Sprintf("graph: Delta.AddEdge with invalid or removed endpoint %d->%d", from, to))
+	}
+	id := d.internEdgeLabel(label)
+	key := edgeKey{from: from, to: to, label: id}
+	if _, ok := d.removedSet[key]; ok {
+		delete(d.removedSet, key)
+		d.delOut[from].remove(id, to)
+		d.delIn[to].remove(id, from)
+		d.bump()
+		return
+	}
+	if _, ok := d.addedSet[key]; ok {
+		return
+	}
+	if d.base.HasEdgeID(from, to, id) {
+		return
+	}
+	d.addedSet[key] = struct{}{}
+	adjOf(d.addOut, from).add(id, to)
+	adjOf(d.addIn, to).add(id, from)
+	d.bump()
+}
+
+// RemoveEdge deletes the exact (from, label, to) triple, whether it lives in
+// the base or was added by the delta; absent edges are a no-op (the literal
+// semantics of Graph.RemoveEdge).
+func (d *Delta) RemoveEdge(from, to NodeID, label string) {
+	if !d.valid(from) || !d.valid(to) {
+		panic(fmt.Sprintf("graph: Delta.RemoveEdge with invalid endpoint %d->%d", from, to))
+	}
+	id := d.edgeLabelID(label)
+	if id == NoLabel {
+		return
+	}
+	d.removeEdgeID(from, to, id)
+}
+
+func (d *Delta) removeEdgeID(from, to NodeID, id LabelID) {
+	key := edgeKey{from: from, to: to, label: id}
+	if _, ok := d.addedSet[key]; ok {
+		delete(d.addedSet, key)
+		d.addOut[from].remove(id, to)
+		d.addIn[to].remove(id, from)
+		d.bump()
+		return
+	}
+	if _, ok := d.removedSet[key]; ok {
+		return
+	}
+	if !d.base.HasEdgeID(from, to, id) {
+		return
+	}
+	d.removedSet[key] = struct{}{}
+	adjOf(d.delOut, from).add(id, to)
+	adjOf(d.delIn, to).add(id, from)
+	d.bump()
+}
+
+// RemoveNode tombstones node v with Graph.RemoveNode's semantics: every
+// incident edge (base or added) is removed, attributes are dropped, and the
+// node leaves all candidate and label queries while its ID slot stays in the
+// dense space. No-op when v is already dead.
+func (d *Delta) RemoveNode(v NodeID) {
+	if !d.valid(v) {
+		panic(fmt.Sprintf("graph: Delta.RemoveNode on invalid node %d", v))
+	}
+	if !d.alive(v) {
+		return
+	}
+	// Added edges touching v, both directions.
+	dropAdded := func(own map[NodeID]*labelAdj, out bool) {
+		a := own[v]
+		if a == nil {
+			return
+		}
+		type pe struct {
+			id LabelID
+			n  NodeID
+		}
+		var pairs []pe
+		for i, l := range a.labels {
+			for _, n := range a.lists[i] {
+				pairs = append(pairs, pe{l, n})
+			}
+		}
+		for _, p := range pairs {
+			if out {
+				d.removeEdgeID(v, p.n, p.id)
+			} else {
+				d.removeEdgeID(p.n, v, p.id)
+			}
+		}
+	}
+	dropAdded(d.addOut, true)
+	dropAdded(d.addIn, false)
+	// Base edges at v, both directions.
+	if int(v) < d.baseN() {
+		d.base.out.forEachRun(v, func(id LabelID, targets []NodeID) {
+			for _, t := range targets {
+				d.removeEdgeID(v, t, id)
+			}
+		})
+		d.base.in.forEachRun(v, func(id LabelID, sources []NodeID) {
+			for _, s := range sources {
+				if s != v { // self-loops already removed in the out pass
+					d.removeEdgeID(s, v, id)
+				}
+			}
+		})
+		d.deadBase++
+		delete(d.attrs, v)
+	} else {
+		i := int(v) - d.baseN()
+		d.addedByLabel[d.nodes[i].Label] = removeSorted(d.addedByLabel[d.nodes[i].Label], v)
+		d.nodes[i].Attrs = nil
+	}
+	d.dead[v] = struct{}{}
+	d.bump()
+}
+
+// Alive reports whether v is a valid node not tombstoned by the base or the
+// delta.
+func (d *Delta) Alive(v NodeID) bool { return d.alive(v) }
+
+// Label returns the label of node v across base and added nodes
+// (tombstoned nodes keep their label, like Graph.RemoveNode).
+func (d *Delta) Label(v NodeID) string {
+	if i := int(v) - d.baseN(); i >= 0 {
+		return d.nodes[i].Label
+	}
+	return d.base.Label(v)
+}
+
+// TouchedNodes returns the ascending set of nodes the delta touches:
+// endpoints of added and removed edges, attribute-updated nodes, tombstoned
+// nodes, and added nodes. This is the seed set incremental revalidation
+// scopes its re-enumeration to.
+func (d *Delta) TouchedNodes() []NodeID {
+	seen := make(map[NodeID]struct{})
+	for v := range d.addOut {
+		seen[v] = struct{}{}
+	}
+	for v := range d.addIn {
+		seen[v] = struct{}{}
+	}
+	for v := range d.delOut {
+		seen[v] = struct{}{}
+	}
+	for v := range d.delIn {
+		seen[v] = struct{}{}
+	}
+	for v := range d.attrs {
+		seen[v] = struct{}{}
+	}
+	for v := range d.dead {
+		seen[v] = struct{}{}
+	}
+	for i := range d.nodes {
+		seen[NodeID(d.baseN()+i)] = struct{}{}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Len returns the number of recorded update operations in final-state form:
+// added nodes and edges, removed base edges and nodes, attribute overrides.
+func (d *Delta) Len() int {
+	return len(d.nodes) + len(d.addedSet) + len(d.removedSet) + len(d.dead) + len(d.attrs)
+}
+
+// String summarizes the delta for logs.
+func (d *Delta) String() string {
+	return fmt.Sprintf("Delta{+V=%d, -V=%d, +E=%d, -E=%d, attrs=%d}",
+		len(d.nodes), len(d.dead), len(d.addedSet), len(d.removedSet), len(d.attrs))
+}
+
+// row is one touched node's merged adjacency in one direction: the base run
+// minus removals, plus additions, in the CSR's (label, target) order.
+type row struct {
+	labels []LabelID  // ascending distinct
+	lists  [][]NodeID // aligned with labels; each ascending, duplicate-free
+	all    []NodeID   // ascending by target; repeats across parallel labels
+	total  int
+}
+
+// endpoints mirrors labelAdj.endpoints/csrDir.byLabel.
+func (r *row) endpoints(id LabelID) []NodeID {
+	switch id {
+	case AnyLabel:
+		return r.all
+	case NoLabel:
+		return nil
+	}
+	for i, l := range r.labels {
+		if l == id {
+			return r.lists[i]
+		}
+	}
+	return nil
+}
+
+// sortedLabels returns a labelAdj's label IDs in ascending order with their
+// list indexes. Insertion sort: a node's distinct labels are few, and this
+// runs once per touched row — a closure-based sort would dominate it.
+func sortedLabels(a *labelAdj) []int {
+	if a == nil {
+		return nil
+	}
+	idx := make([]int, len(a.labels))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && a.labels[idx[j]] < a.labels[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// subtractSorted compacts ascending base to the elements not present in the
+// ascending removal list (both duplicate-free), appending into dst.
+func subtractSorted(dst, base, del []NodeID) []NodeID {
+	j := 0
+	for _, n := range base {
+		for j < len(del) && del[j] < n {
+			j++
+		}
+		if j < len(del) && del[j] == n {
+			continue
+		}
+		dst = append(dst, n)
+	}
+	return dst
+}
+
+// mergeSorted merges two ascending duplicate-free lists into dst.
+func mergeSorted(dst, a, b []NodeID) []NodeID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// mergeAll writes (baseAll minus delAll) merged with addAll into dst, all
+// three ascending by target with multiset semantics: each removed edge
+// cancels one occurrence of its target (occurrences of a target are
+// value-identical, so which one is immaterial). One linear pass — no sort.
+func mergeAll(dst, baseAll, delAll, addAll []NodeID) []NodeID {
+	j, k := 0, 0
+	for _, n := range baseAll {
+		for j < len(delAll) && delAll[j] < n {
+			j++
+		}
+		if j < len(delAll) && delAll[j] == n {
+			j++
+			continue
+		}
+		for k < len(addAll) && addAll[k] <= n {
+			dst = append(dst, addAll[k])
+			k++
+		}
+		dst = append(dst, n)
+	}
+	return append(dst, addAll[k:]...)
+}
+
+// buildRow materializes one touched node's merged adjacency. v may be an
+// added node (no base run). Every input list is already sorted — base runs
+// by (label, target), the delta's labelAdjs per label and by target — so
+// the merge is linear per label and the wildcard view is a three-way linear
+// merge, O(row) total with two allocations (the shared list backing and the
+// wildcard view).
+func buildRow(base *csrDir, v NodeID, baseValid bool, add, del *labelAdj) *row {
+	r := &row{}
+	addIdx := sortedLabels(add)
+	baseLen, addLen := 0, 0
+	var baseAll []NodeID
+	if baseValid {
+		baseLen = int(base.off[v+1] - base.off[v])
+		baseAll = base.all[base.off[v]:base.off[v+1]]
+	}
+	if add != nil {
+		addLen = len(add.all)
+	}
+	// One backing buffer for every per-label list: the merged total is
+	// bounded by baseLen+addLen (removals only shrink), so the sub-slices
+	// handed out below never move. The label directory is likewise bounded
+	// by the base directory plus the added labels.
+	maxLabels := len(addIdx)
+	if baseValid {
+		maxLabels += int(base.dirOff[v+1] - base.dirOff[v])
+	}
+	r.labels = make([]LabelID, 0, maxLabels)
+	r.lists = make([][]NodeID, 0, maxLabels)
+	buf := make([]NodeID, 0, baseLen+addLen)
+	emit := func(id LabelID, list []NodeID) {
+		if len(list) == 0 {
+			return
+		}
+		r.labels = append(r.labels, id)
+		r.lists = append(r.lists, list)
+		r.total += len(list)
+	}
+	ai := 0
+	emitAdded := func(idx int) {
+		start := len(buf)
+		buf = append(buf, add.lists[idx]...)
+		emit(add.labels[idx], buf[start:len(buf):len(buf)])
+	}
+	if baseValid {
+		base.forEachRun(v, func(id LabelID, targets []NodeID) {
+			// Added labels strictly below the base label come first.
+			for ai < len(addIdx) && add.labels[addIdx[ai]] < id {
+				emitAdded(addIdx[ai])
+				ai++
+			}
+			var delList []NodeID
+			if del != nil {
+				delList = del.endpoints(id)
+			}
+			if ai < len(addIdx) && add.labels[addIdx[ai]] == id {
+				start := len(buf)
+				if len(delList) == 0 {
+					buf = mergeSorted(buf, targets, add.lists[addIdx[ai]])
+				} else {
+					buf = mergeAll(buf, targets, delList, add.lists[addIdx[ai]])
+				}
+				ai++
+				emit(id, buf[start:len(buf):len(buf)])
+			} else if len(delList) == 0 {
+				// Label untouched inside a touched row: alias the immutable
+				// base run instead of copying it.
+				emit(id, targets)
+			} else {
+				start := len(buf)
+				buf = subtractSorted(buf, targets, delList)
+				emit(id, buf[start:len(buf):len(buf)])
+			}
+		})
+	}
+	for ; ai < len(addIdx); ai++ {
+		emitAdded(addIdx[ai])
+	}
+	var delAll []NodeID
+	if del != nil {
+		delAll = del.all
+	}
+	var addAll []NodeID
+	if add != nil {
+		addAll = add.all
+	}
+	r.all = mergeAll(make([]NodeID, 0, r.total), baseAll, delAll, addAll)
+	return r
+}
+
+// rows materializes the merged adjacency of every touched node in both
+// directions, cached until the delta mutates again.
+func (d *Delta) rows() (out, in map[NodeID]*row) {
+	if d.outRows != nil && d.rowsVersion == d.version {
+		return d.outRows, d.inRows
+	}
+	build := func(add, del map[NodeID]*labelAdj, base *csrDir) map[NodeID]*row {
+		rows := make(map[NodeID]*row, len(add)+len(del))
+		touch := func(v NodeID) {
+			if _, ok := rows[v]; ok {
+				return
+			}
+			rows[v] = buildRow(base, v, int(v) < d.baseN(), add[v], del[v])
+		}
+		for v := range add {
+			touch(v)
+		}
+		for v := range del {
+			touch(v)
+		}
+		return rows
+	}
+	d.outRows = build(d.addOut, d.delOut, &d.base.out)
+	d.inRows = build(d.addIn, d.delIn, &d.base.in)
+	d.rowsVersion = d.version
+	return d.outRows, d.inRows
+}
+
+// Overlay returns a Reader over base+delta with exactly the flat snapshot's
+// semantics. The overlay is a snapshot view: it materializes the merged
+// adjacency of every touched node once (O(touched rows)), after which it is
+// immutable and safe for concurrent readers. Mutating the delta afterwards
+// invalidates it — take a new Overlay (cheap: only rows touched since are
+// rebuilt); a stale overlay panics on its next adjacency query rather than
+// serving silently wrong rows.
+func (d *Delta) Overlay() *Overlay {
+	out, in := d.rows()
+	return &Overlay{d: d, base: d.base, version: d.version, out: out, in: in}
+}
+
+// Overlay is the composed Reader over a base snapshot and a delta; see
+// Delta.Overlay. Untouched nodes are served straight from the base arrays;
+// touched nodes from the materialized merged rows.
+type Overlay struct {
+	d       *Delta
+	base    *Frozen
+	version uint64
+	out, in map[NodeID]*row
+}
+
+// Delta returns the delta the overlay composes over its base.
+func (o *Overlay) Delta() *Delta { return o.d }
+
+// Base returns the underlying base snapshot.
+func (o *Overlay) Base() *Frozen { return o.base }
+
+func (o *Overlay) check() {
+	if o.version != o.d.version {
+		panic("graph: Overlay used after its Delta mutated; take a new Overlay")
+	}
+}
+
+// NumNodes returns the overlaid ID-space size (tombstones included, like
+// Graph.NumNodes after RemoveNode).
+func (o *Overlay) NumNodes() int { return o.d.NumNodes() }
+
+// LiveNodes returns the number of non-tombstoned nodes.
+func (o *Overlay) LiveNodes() int {
+	return o.base.LiveNodes() - o.d.deadBase + len(o.d.nodes) - (len(o.d.dead) - o.d.deadBase)
+}
+
+// NumEdges returns |E| of the composed graph.
+func (o *Overlay) NumEdges() int {
+	return o.base.edges + len(o.d.addedSet) - len(o.d.removedSet)
+}
+
+// Alive reports whether v is a valid, non-tombstoned node.
+func (o *Overlay) Alive(v NodeID) bool { return o.d.alive(v) }
+
+// Label returns the label of node v (tombstoned nodes keep their label,
+// mirroring Graph.RemoveNode).
+func (o *Overlay) Label(v NodeID) string {
+	if i := int(v) - o.d.baseN(); i >= 0 {
+		return o.d.nodes[i].Label
+	}
+	return o.base.Label(v)
+}
+
+// Attr reports the value of attribute A at node v and whether it exists.
+func (o *Overlay) Attr(v NodeID, attr string) (string, bool) {
+	m := o.Attrs(v)
+	val, ok := m[attr]
+	return val, ok
+}
+
+// Attrs returns the attribute tuple of v (nil if none). The returned map is
+// the overlay's own storage; callers must not mutate it.
+func (o *Overlay) Attrs(v NodeID) map[string]string {
+	o.check()
+	if !o.d.alive(v) {
+		return nil
+	}
+	if i := int(v) - o.d.baseN(); i >= 0 {
+		return o.d.nodes[i].Attrs
+	}
+	if m, ok := o.d.attrs[v]; ok {
+		return m
+	}
+	return o.base.Attrs(v)
+}
+
+// Size returns |G| counting live nodes, edges, attributes and their values.
+func (o *Overlay) Size() int {
+	s := o.LiveNodes() + o.NumEdges()
+	for v := 0; v < o.d.baseN(); v++ {
+		if o.d.alive(NodeID(v)) {
+			s += len(o.Attrs(NodeID(v)))
+		}
+	}
+	for i := range o.d.nodes {
+		s += len(o.d.nodes[i].Attrs)
+	}
+	return s
+}
+
+// edgeLabelName resolves an interned edge-label ID back to its name.
+func (o *Overlay) edgeLabelName(id LabelID) string {
+	if i := int(id) - len(o.base.labelNames); i >= 0 {
+		return o.d.labelNames[i]
+	}
+	return o.base.labelNames[id]
+}
+
+// Out returns the outgoing edges of v, synthesized per call like
+// Frozen.Out.
+func (o *Overlay) Out(v NodeID) []Edge {
+	o.check()
+	r := o.out[v]
+	if r == nil {
+		return o.base.Out(v)
+	}
+	es := make([]Edge, 0, r.total)
+	for i, id := range r.labels {
+		name := o.edgeLabelName(id)
+		for _, t := range r.lists[i] {
+			es = append(es, Edge{From: v, To: t, Label: name})
+		}
+	}
+	return es
+}
+
+// In returns the incoming edges of v, synthesized per call.
+func (o *Overlay) In(v NodeID) []Edge {
+	o.check()
+	r := o.in[v]
+	if r == nil {
+		return o.base.In(v)
+	}
+	es := make([]Edge, 0, r.total)
+	for i, id := range r.labels {
+		name := o.edgeLabelName(id)
+		for _, s := range r.lists[i] {
+			es = append(es, Edge{From: s, To: v, Label: name})
+		}
+	}
+	return es
+}
+
+// EdgeLabelID resolves an edge label to its interned ID across base and
+// delta: AnyLabel for the Wildcard, NoLabel for unknown labels.
+func (o *Overlay) EdgeLabelID(label string) LabelID {
+	if label == Wildcard {
+		return AnyLabel
+	}
+	return o.d.edgeLabelID(label)
+}
+
+// NodeLabelID resolves a node label to its interned ID across base and
+// delta.
+func (o *Overlay) NodeLabelID(label string) LabelID {
+	if label == Wildcard {
+		return AnyLabel
+	}
+	if id, ok := o.base.nodeLabelIDs[label]; ok {
+		return id
+	}
+	if id, ok := o.d.nodeLabelIDs[label]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// LabelIDOf returns the interned ID of node v's label.
+func (o *Overlay) LabelIDOf(v NodeID) LabelID {
+	if i := int(v) - o.d.baseN(); i >= 0 {
+		return o.d.nodeLabelOf[i]
+	}
+	return o.base.nodeLabelOf[v]
+}
+
+// ResolveLabels maps a label list through EdgeLabelID.
+func (o *Overlay) ResolveLabels(labels []string) []LabelID {
+	if len(labels) == 0 {
+		return nil
+	}
+	ids := make([]LabelID, len(labels))
+	for i, l := range labels {
+		ids[i] = o.EdgeLabelID(l)
+	}
+	return ids
+}
+
+// Labels returns the distinct node labels of base and delta in
+// deterministic order.
+func (o *Overlay) Labels() []string {
+	ls := append([]string(nil), o.base.nodeLabelNames...)
+	ls = append(ls, o.d.nodeLabelNames...)
+	sort.Strings(ls)
+	return ls
+}
+
+// HasEdge reports whether edge (from,to) with the given label exists, with
+// Wildcard matching any label.
+func (o *Overlay) HasEdge(from, to NodeID, label string) bool {
+	return o.HasEdgeID(from, to, o.EdgeLabelID(label))
+}
+
+// HasEdgeID is HasEdge with a pre-resolved label ID: a binary search in the
+// merged row for touched nodes, the base probe otherwise.
+func (o *Overlay) HasEdgeID(from, to NodeID, id LabelID) bool {
+	o.check()
+	if id == NoLabel {
+		return false
+	}
+	if r := o.out[from]; r != nil {
+		return containsSorted(r.endpoints(id), to)
+	}
+	return o.base.HasEdgeID(from, to, id)
+}
+
+// OutByLabel returns the targets of v's outgoing edges carrying the given
+// label, with the Reader contract's ordering and aliasing semantics.
+func (o *Overlay) OutByLabel(v NodeID, label string) []NodeID {
+	return o.OutByLabelID(v, o.EdgeLabelID(label))
+}
+
+// OutByLabelID is OutByLabel with a pre-resolved label ID.
+func (o *Overlay) OutByLabelID(v NodeID, id LabelID) []NodeID {
+	o.check()
+	if r := o.out[v]; r != nil {
+		return r.endpoints(id)
+	}
+	return o.base.OutByLabelID(v, id)
+}
+
+// InByLabel returns the sources of v's incoming edges carrying the label.
+func (o *Overlay) InByLabel(v NodeID, label string) []NodeID {
+	return o.InByLabelID(v, o.EdgeLabelID(label))
+}
+
+// InByLabelID is InByLabel with a pre-resolved label ID.
+func (o *Overlay) InByLabelID(v NodeID, id LabelID) []NodeID {
+	o.check()
+	if r := o.in[v]; r != nil {
+		return r.endpoints(id)
+	}
+	return o.base.InByLabelID(v, id)
+}
+
+// NodesByLabel returns a fresh copy of the nodes carrying exactly the given
+// label: the base run minus tombstones, then the added nodes (whose IDs all
+// exceed the base space, keeping the list ascending).
+func (o *Overlay) NodesByLabel(label string) []NodeID {
+	o.check()
+	return o.appendLabelRun(nil, label)
+}
+
+// appendLabelRun appends the overlay's exact-label node run into dst.
+func (o *Overlay) appendLabelRun(dst []NodeID, label string) []NodeID {
+	run := o.base.nodesWithLabel(label)
+	if o.d.deadBase == 0 {
+		dst = append(dst, run...)
+	} else {
+		for _, v := range run {
+			if _, dd := o.d.dead[v]; !dd {
+				dst = append(dst, v)
+			}
+		}
+	}
+	return append(dst, o.d.addedByLabel[label]...)
+}
+
+// CandidateNodes returns the nodes a pattern node with the given label may
+// match, as a fresh copy owned by the caller.
+func (o *Overlay) CandidateNodes(label string) []NodeID {
+	return o.AppendCandidates(nil, label)
+}
+
+// AppendCandidates appends CandidateNodes(label) into dst without any other
+// allocation.
+func (o *Overlay) AppendCandidates(dst []NodeID, label string) []NodeID {
+	o.check()
+	if label == Wildcard {
+		n := o.d.NumNodes()
+		for v := 0; v < n; v++ {
+			if o.d.alive(NodeID(v)) {
+				dst = append(dst, NodeID(v))
+			}
+		}
+		return dst
+	}
+	return o.appendLabelRun(dst, label)
+}
+
+// LabelFrequency returns the number of live nodes carrying the label, with
+// wildcard counting every live node.
+func (o *Overlay) LabelFrequency(label string) int {
+	o.check()
+	if label == Wildcard {
+		return o.LiveNodes()
+	}
+	n := len(o.base.nodesWithLabel(label)) + len(o.d.addedByLabel[label])
+	if o.d.deadBase > 0 {
+		for v := range o.d.dead {
+			if int(v) < o.d.baseN() && o.base.Label(v) == label {
+				n--
+			}
+		}
+	}
+	return n
+}
+
+// Covers reports whether node v's adjacency covers the signature; see
+// Graph.Covers.
+func (o *Overlay) Covers(v NodeID, sig Signature) bool {
+	return o.CoversIDs(v, o.ResolveLabels(sig.Out), o.ResolveLabels(sig.In))
+}
+
+// CoversIDs is Covers with pre-resolved label IDs.
+func (o *Overlay) CoversIDs(v NodeID, outIDs, inIDs []LabelID) bool {
+	if !o.d.valid(v) {
+		return false
+	}
+	for _, id := range outIDs {
+		if len(o.OutByLabelID(v, id)) == 0 {
+			return false
+		}
+	}
+	for _, id := range inIDs {
+		if len(o.InByLabelID(v, id)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighborhood returns the nodes within d undirected hops of v.
+func (o *Overlay) Neighborhood(v NodeID, d int) map[NodeID]bool {
+	return neighborhood(o, v, d)
+}
+
+// UndirectedDistance returns the undirected hop distance between u and v.
+func (o *Overlay) UndirectedDistance(u, v NodeID) int {
+	return undirectedDistance(o, u, v)
+}
+
+// String summarizes the overlay for logs.
+func (o *Overlay) String() string {
+	return fmt.Sprintf("Overlay{V=%d, E=%d, %s}", o.NumNodes(), o.NumEdges(), o.d)
+}

@@ -1,0 +1,380 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// applyRandomOps drives the same random update stream into the mutable
+// mirror and the delta: node adds, edge adds/removes, attribute rewrites and
+// node removals, weighted so every op kind fires. Both sides see identical
+// arguments, so afterwards mirror and overlay must agree on every query.
+func applyRandomOps(rng *rand.Rand, mirror *Graph, d *Delta, ops int, nodeLabels, edgeLabels []string) {
+	alive := func() (NodeID, bool) {
+		for try := 0; try < 20; try++ {
+			v := NodeID(rng.Intn(mirror.NumNodes()))
+			if mirror.Alive(v) {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 15:
+			l := nodeLabels[rng.Intn(len(nodeLabels))]
+			mv := mirror.AddNode(l)
+			dv := d.AddNode(l)
+			if mv != dv {
+				panic(fmt.Sprintf("ID drift: mirror %d vs delta %d", mv, dv))
+			}
+		case r < 50:
+			from, ok1 := alive()
+			to, ok2 := alive()
+			if !ok1 || !ok2 {
+				continue
+			}
+			l := edgeLabels[rng.Intn(len(edgeLabels))]
+			mirror.AddEdge(from, to, l)
+			d.AddEdge(from, to, l)
+		case r < 70:
+			v, ok := alive()
+			if !ok {
+				continue
+			}
+			es := mirror.Out(v)
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.Intn(len(es))]
+			mirror.RemoveEdge(e.From, e.To, e.Label)
+			d.RemoveEdge(e.From, e.To, e.Label)
+		case r < 85:
+			v, ok := alive()
+			if !ok {
+				continue
+			}
+			a, val := fmt.Sprintf("a%d", rng.Intn(3)), fmt.Sprintf("u%d", rng.Intn(4))
+			mirror.SetAttr(v, a, val)
+			d.SetAttr(v, a, val)
+		default:
+			v, ok := alive()
+			if !ok {
+				continue
+			}
+			mirror.RemoveNode(v)
+			d.RemoveNode(v)
+		}
+	}
+}
+
+// sortedEdges canonicalizes an edge slice for multiset comparison.
+func sortedEdges(es []Edge) []Edge {
+	out := append([]Edge(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+func edgesEqual(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkReaderEquivalence compares got against want on every Reader query,
+// by label *name* (interned IDs deliberately do not transfer across
+// representations).
+func checkReaderEquivalence(t *testing.T, ctx string, want, got Reader, nodeLabels, edgeLabels []string) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() || got.Size() != want.Size() {
+		t.Fatalf("%s: cardinalities diverge: V=%d/%d E=%d/%d |G|=%d/%d", ctx,
+			got.NumNodes(), want.NumNodes(), got.NumEdges(), want.NumEdges(), got.Size(), want.Size())
+	}
+	n := want.NumNodes()
+	queryEdgeLabels := append(append([]string(nil), edgeLabels...), Wildcard, "absent")
+	for v := 0; v < n; v++ {
+		id := NodeID(v)
+		if got.Label(id) != want.Label(id) {
+			t.Fatalf("%s: Label(%d) = %q, want %q", ctx, v, got.Label(id), want.Label(id))
+		}
+		wa, ga := want.Attrs(id), got.Attrs(id)
+		if len(wa) != len(ga) {
+			t.Fatalf("%s: Attrs(%d) = %v, want %v", ctx, v, ga, wa)
+		}
+		for k, val := range wa {
+			if gv, ok := got.Attr(id, k); !ok || gv != val {
+				t.Fatalf("%s: Attr(%d,%q) = %q,%v want %q", ctx, v, k, gv, ok, val)
+			}
+		}
+		if !edgesEqual(sortedEdges(got.Out(id)), sortedEdges(want.Out(id))) {
+			t.Fatalf("%s: Out(%d) diverges:\n got %v\nwant %v", ctx, v, sortedEdges(got.Out(id)), sortedEdges(want.Out(id)))
+		}
+		if !edgesEqual(sortedEdges(got.In(id)), sortedEdges(want.In(id))) {
+			t.Fatalf("%s: In(%d) diverges", ctx, v)
+		}
+		for _, l := range queryEdgeLabels {
+			if !idsEqual(got.OutByLabel(id, l), want.OutByLabel(id, l)) {
+				t.Fatalf("%s: OutByLabel(%d,%q) = %v, want %v", ctx, v, l, got.OutByLabel(id, l), want.OutByLabel(id, l))
+			}
+			if !idsEqual(got.InByLabel(id, l), want.InByLabel(id, l)) {
+				t.Fatalf("%s: InByLabel(%d,%q) = %v, want %v", ctx, v, l, got.InByLabel(id, l), want.InByLabel(id, l))
+			}
+			for u := 0; u < n; u++ {
+				if got.HasEdge(id, NodeID(u), l) != want.HasEdge(id, NodeID(u), l) {
+					t.Fatalf("%s: HasEdge(%d,%d,%q) = %v, want %v", ctx, v, u, l,
+						got.HasEdge(id, NodeID(u), l), want.HasEdge(id, NodeID(u), l))
+				}
+			}
+		}
+		for d := 1; d <= 2; d++ {
+			wn, gn := want.Neighborhood(id, d), got.Neighborhood(id, d)
+			if len(wn) != len(gn) {
+				t.Fatalf("%s: Neighborhood(%d,%d) sizes %d vs %d", ctx, v, d, len(gn), len(wn))
+			}
+			for u := range wn {
+				if !gn[u] {
+					t.Fatalf("%s: Neighborhood(%d,%d) missing %d", ctx, v, d, u)
+				}
+			}
+		}
+	}
+	for _, l := range append(append([]string(nil), nodeLabels...), Wildcard, "absent") {
+		if !idsEqual(got.CandidateNodes(l), want.CandidateNodes(l)) {
+			t.Fatalf("%s: CandidateNodes(%q) = %v, want %v", ctx, l, got.CandidateNodes(l), want.CandidateNodes(l))
+		}
+		if got.LabelFrequency(l) != want.LabelFrequency(l) {
+			t.Fatalf("%s: LabelFrequency(%q) = %d, want %d", ctx, l, got.LabelFrequency(l), want.LabelFrequency(l))
+		}
+		if l != Wildcard && !idsEqual(got.NodesByLabel(l), want.NodesByLabel(l)) {
+			t.Fatalf("%s: NodesByLabel(%q) diverges", ctx, l)
+		}
+	}
+	for _, sig := range []Signature{{}, {Out: []string{edgeLabels[0]}}, {In: []string{edgeLabels[0], Wildcard}}, {Out: []string{"absent"}}} {
+		for v := 0; v < n; v++ {
+			if got.Covers(NodeID(v), sig) != want.Covers(NodeID(v), sig) {
+				t.Fatalf("%s: Covers(%d,%v) diverges", ctx, v, sig)
+			}
+		}
+	}
+}
+
+// TestOverlayEquivalenceRandom is the overlay-equivalence property: after
+// any update stream, the Overlay over (base Frozen + Delta) answers every
+// Reader query exactly like a mutable Graph that applied the same stream,
+// and Refreeze produces a snapshot equal to a from-scratch Freeze of the
+// final state. A second round re-runs the property with the refrozen
+// snapshot as the base, covering tombstoned and extended bases.
+func TestOverlayEquivalenceRandom(t *testing.T) {
+	nodeLabels := []string{"a", "b", "c", Wildcard}
+	edgeLabels := []string{"e", "f", "g", Wildcard}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(15)
+		mirror, base := buildBoth(seed*31+7, n, 4*n, nodeLabels, edgeLabels)
+		d := NewDelta(base)
+		applyRandomOps(rng, mirror, d, 2+rng.Intn(3*n), nodeLabels, edgeLabels)
+
+		ctx := fmt.Sprintf("seed=%d n=%d delta=%v", seed, n, d)
+		overlay := d.Overlay()
+		checkReaderEquivalence(t, ctx+" overlay", mirror, overlay, nodeLabels, edgeLabels)
+
+		refrozen := base.Refreeze(d)
+		checkReaderEquivalence(t, ctx+" refrozen", mirror, refrozen, nodeLabels, edgeLabels)
+		scratch := mirror.Frozen()
+		checkReaderEquivalence(t, ctx+" refrozen-vs-scratch", scratch, refrozen, nodeLabels, edgeLabels)
+
+		// Round two: the refrozen snapshot (tombstones, extended ID space)
+		// becomes the base of a fresh delta.
+		d2 := NewDelta(refrozen)
+		applyRandomOps(rng, mirror, d2, 2+rng.Intn(2*n), nodeLabels, edgeLabels)
+		ctx2 := fmt.Sprintf("%s round2 delta=%v", ctx, d2)
+		checkReaderEquivalence(t, ctx2+" overlay", mirror, d2.Overlay(), nodeLabels, edgeLabels)
+		checkReaderEquivalence(t, ctx2+" refrozen", mirror, refrozen.Refreeze(d2), nodeLabels, edgeLabels)
+	}
+}
+
+// TestShardedRefreeze pins the dirty-shard path: Sharded.Refreeze must
+// produce the same partition accounting as carving the refrozen snapshot
+// from scratch at the same bounds, while answering whole-graph queries like
+// the refrozen flat snapshot.
+func TestShardedRefreeze(t *testing.T) {
+	nodeLabels := []string{"a", "b", "c"}
+	edgeLabels := []string{"e", "f"}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		n := 12 + rng.Intn(20)
+		mirror, base := buildBoth(seed*17+3, n, 5*n, nodeLabels, edgeLabels)
+		for _, k := range []int{1, 3, 5} {
+			s := base.Sharded(k)
+			d := NewDelta(base)
+			applyRandomOps(rng, mirror.Clone(), d, 1+rng.Intn(n), nodeLabels, edgeLabels)
+			ns := s.Refreeze(d)
+			nf := base.Refreeze(d)
+			ctx := fmt.Sprintf("seed=%d n=%d k=%d delta=%v", seed, n, k, d)
+			if ns.Frozen().NumEdges() != nf.NumEdges() || ns.NumNodes() != nf.NumNodes() {
+				t.Fatalf("%s: refrozen sharded cardinalities diverge", ctx)
+			}
+			edges := 0
+			for i := 0; i < ns.ShardCount(); i++ {
+				lo, hi := ns.ShardBounds(i)
+				want := carveShard(nf, lo, hi)
+				got := ns.shards[i]
+				if got.edges != want.edges || got.frontierOut != want.frontierOut ||
+					got.frontierIn != want.frontierIn || got.dead != want.dead {
+					t.Fatalf("%s: shard %d accounting (%d,%d,%d,%d), want (%d,%d,%d,%d)", ctx, i,
+						got.edges, got.frontierOut, got.frontierIn, got.dead,
+						want.edges, want.frontierOut, want.frontierIn, want.dead)
+				}
+				edges += got.edges
+			}
+			if edges != nf.NumEdges() {
+				t.Fatalf("%s: shard edges sum to %d, want %d", ctx, edges, nf.NumEdges())
+			}
+			for _, l := range append(append([]string(nil), nodeLabels...), Wildcard) {
+				if !idsEqual(ns.CandidateNodes(l), nf.CandidateNodes(l)) {
+					t.Fatalf("%s: CandidateNodes(%q) diverges", ctx, l)
+				}
+				var concat []NodeID
+				for i := 0; i < ns.ShardCount(); i++ {
+					concat = ns.Shard(i).AppendCandidates(concat, l)
+				}
+				if !idsEqual(concat, nf.CandidateNodes(l)) {
+					t.Fatalf("%s: per-shard candidates for %q diverge", ctx, l)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSemantics pins the final-state op algebra and the guard rails.
+func TestDeltaSemantics(t *testing.T) {
+	b := NewBuilder(0)
+	x := b.AddNode("a")
+	y := b.AddNode("b")
+	z := b.AddNode("a")
+	b.AddEdge(x, y, "e")
+	b.AddEdge(y, z, "f")
+	b.SetAttr(x, "k", "v")
+	f := b.Freeze()
+
+	d := NewDelta(f)
+	// Idempotent add of an existing base edge is invisible.
+	d.AddEdge(x, y, "e")
+	if d.Len() != 0 {
+		t.Fatalf("re-adding a base edge recorded %d ops", d.Len())
+	}
+	// Remove then re-add cancels.
+	d.RemoveEdge(x, y, "e")
+	d.AddEdge(x, y, "e")
+	if d.Len() != 0 {
+		t.Fatalf("remove+re-add left %d ops", d.Len())
+	}
+	// Add then remove cancels (new edge, new label).
+	d.AddEdge(z, x, "new")
+	d.RemoveEdge(z, x, "new")
+	if len(d.addedSet) != 0 || len(d.removedSet) != 0 {
+		t.Fatal("add+remove of a fresh edge did not cancel")
+	}
+	// RemoveNode cascades to incident base edges and blocks further use.
+	d.RemoveNode(y)
+	o := d.Overlay()
+	if o.Alive(y) || o.NumEdges() != 0 {
+		t.Fatalf("RemoveNode left alive=%v E=%d", o.Alive(y), o.NumEdges())
+	}
+	if got := o.CandidateNodes("b"); len(got) != 0 {
+		t.Fatalf("dead node still a candidate: %v", got)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AddEdge to dead node", func() { d.AddEdge(x, y, "e") })
+	mustPanic("SetAttr on dead node", func() { d.SetAttr(y, "k", "v") })
+	// The mutable Graph enforces the same tombstone invariant: a removed
+	// node never regains edges or attributes.
+	mg := New()
+	ga := mg.AddNode("a")
+	gb := mg.AddNode("b")
+	mg.RemoveNode(gb)
+	mustPanic("Graph.AddEdge to dead node", func() { mg.AddEdge(ga, gb, "e") })
+	mustPanic("Graph.SetAttr on dead node", func() { mg.SetAttr(gb, "k", "v") })
+	mustPanic("stale overlay", func() {
+		o2 := d.Overlay()
+		d.AddNode("a")
+		o2.OutByLabel(x, "e")
+	})
+	mustPanic("foreign base", func() { NewBuilder(0).Freeze().Refreeze(d) })
+
+	// TouchedNodes covers edge endpoints, attr updates, dead and added nodes.
+	d2 := NewDelta(f)
+	w := d2.AddNode("c")
+	d2.AddEdge(w, x, "e")
+	d2.SetAttr(z, "k", "v2")
+	got := d2.TouchedNodes()
+	want := []NodeID{x, z, w}
+	if !idsEqual(got, want) {
+		t.Fatalf("TouchedNodes = %v, want %v", got, want)
+	}
+}
+
+// TestShardedEmptyTailCollapse is the regression test for the degenerate
+// shard-count clamp: a non-dividing K used to leave trailing shards owning
+// zero nodes; now the tail collapses and every shard owns at least one node.
+func TestShardedEmptyTailCollapse(t *testing.T) {
+	b := NewBuilder(0)
+	for i := 0; i < 10; i++ {
+		b.AddNode("a")
+	}
+	f := b.Freeze()
+	for _, k := range []int{-3, 0, 1, 3, 7, 9, 10, 25} {
+		s := f.Sharded(k)
+		if s.ShardCount() < 1 {
+			t.Fatalf("k=%d: no shards", k)
+		}
+		for i := 0; i < s.ShardCount(); i++ {
+			if lo, hi := s.ShardBounds(i); hi <= lo {
+				t.Fatalf("k=%d: shard %d is empty [%d,%d)", k, i, lo, hi)
+			}
+		}
+		owned := 0
+		for i := 0; i < s.ShardCount(); i++ {
+			lo, hi := s.ShardBounds(i)
+			owned += int(hi - lo)
+			for v := lo; v < hi; v++ {
+				if s.ShardOf(v) != i {
+					t.Fatalf("k=%d: ShardOf(%d)=%d, owner %d", k, v, s.ShardOf(v), i)
+				}
+			}
+		}
+		if owned != 10 {
+			t.Fatalf("k=%d: shards own %d nodes, want 10", k, owned)
+		}
+	}
+	// k=9 over 10 nodes is the historical repro: stride 2 covers the space
+	// in 5 shards; the 4 trailing empties must be gone.
+	if got := f.Sharded(9).ShardCount(); got != 5 {
+		t.Fatalf("k=9 over 10 nodes gave %d shards, want 5", got)
+	}
+}

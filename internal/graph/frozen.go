@@ -273,6 +273,19 @@ func (d *csrDir) byLabel(v NodeID, id LabelID) []NodeID {
 	return nil
 }
 
+// forEachRun walks node v's directory runs in ascending label order, handing
+// each (label, endpoints) pair to fn. The endpoint slices alias the CSR.
+func (d *csrDir) forEachRun(v NodeID, fn func(LabelID, []NodeID)) {
+	dlo, dhi := int(d.dirOff[v]), int(d.dirOff[v+1])
+	for i := dlo; i < dhi; i++ {
+		end := d.off[v+1]
+		if i+1 < dhi {
+			end = d.dirStart[i+1]
+		}
+		fn(d.dirLabels[i], d.targets[d.dirStart[i]:end])
+	}
+}
+
 // has reports whether the run for id contains target t: one directory scan
 // plus a binary search, O(log deg), no hashing.
 func (d *csrDir) has(v, t NodeID, id LabelID) bool {
@@ -309,6 +322,13 @@ type Frozen struct {
 
 	byLabelOff   []int32
 	byLabelNodes []NodeID
+
+	// dead marks tombstoned node slots (see Graph.RemoveNode and
+	// Frozen.Refreeze): the ID stays in the dense node space but the node is
+	// excluded from candidate enumeration and owns no edges or attributes.
+	// nil for snapshots without removals — the common case pays nothing.
+	dead      []bool
+	deadCount int
 }
 
 // Frozen returns an immutable CSR snapshot of g's current contents, built
@@ -328,8 +348,53 @@ func (g *Graph) Frozen() *Frozen {
 			b.AddEdge(e.From, e.To, e.Label)
 		}
 	}
-	return b.Freeze()
+	f := b.Freeze()
+	if g.dead != nil {
+		f.tombstone(g.dead)
+	}
+	return f
 }
+
+// tombstone marks the given node slots dead and drops them from the
+// nodes-by-label index. Their adjacency rows must already be empty (the
+// callers — Graph.Frozen replaying a graph whose RemoveNode dropped the
+// incident edges, and Refreeze after the delta recorded them as removed —
+// guarantee it).
+func (f *Frozen) tombstone(dead []bool) {
+	n := 0
+	for _, d := range dead {
+		if d {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	f.dead = append([]bool(nil), dead...)
+	f.deadCount = n
+	// Compact the nodes-by-label CSR to live nodes only.
+	nodes := f.byLabelNodes[:0]
+	off := make([]int32, len(f.byLabelOff))
+	for l := 0; l < len(f.byLabelOff)-1; l++ {
+		for _, v := range f.byLabelNodes[f.byLabelOff[l]:f.byLabelOff[l+1]] {
+			if !dead[v] {
+				nodes = append(nodes, v)
+			}
+		}
+		off[l+1] = int32(len(nodes))
+	}
+	f.byLabelNodes = nodes
+	f.byLabelOff = off
+}
+
+// Alive reports whether v is a valid, non-tombstoned node.
+func (f *Frozen) Alive(v NodeID) bool {
+	return f.valid(v) && (f.dead == nil || !f.dead[v])
+}
+
+// LiveNodes returns the number of non-tombstoned nodes (NumNodes counts the
+// dense ID space, which retains removed slots).
+func (f *Frozen) LiveNodes() int { return len(f.nodes) - f.deadCount }
 
 func (f *Frozen) valid(v NodeID) bool { return v >= 0 && int(v) < len(f.nodes) }
 
@@ -360,9 +425,9 @@ func (f *Frozen) Attrs(v NodeID) map[string]string {
 	return f.nodes[v].Attrs
 }
 
-// Size returns |G| counting nodes, edges, attributes and their values.
+// Size returns |G| counting live nodes, edges, attributes and their values.
 func (f *Frozen) Size() int {
-	s := len(f.nodes) + f.edges
+	s := len(f.nodes) - f.deadCount + f.edges
 	for i := range f.nodes {
 		s += len(f.nodes[i].Attrs)
 	}
@@ -397,17 +462,12 @@ func (f *Frozen) In(v NodeID) []Edge {
 // synthesize walks one node's directory runs, handing each (label string,
 // endpoint) pair to emit.
 func (f *Frozen) synthesize(d *csrDir, v NodeID, emit func(string, NodeID)) {
-	dlo, dhi := int(d.dirOff[v]), int(d.dirOff[v+1])
-	for i := dlo; i < dhi; i++ {
-		end := d.off[v+1]
-		if i+1 < dhi {
-			end = d.dirStart[i+1]
-		}
-		name := f.labelNames[d.dirLabels[i]]
-		for _, t := range d.targets[d.dirStart[i]:end] {
+	d.forEachRun(v, func(id LabelID, targets []NodeID) {
+		name := f.labelNames[id]
+		for _, t := range targets {
 			emit(name, t)
 		}
-	}
+	})
 }
 
 // EdgeLabelID resolves an edge label to its interned ID: AnyLabel for the
@@ -533,6 +593,9 @@ func (f *Frozen) CandidateNodes(label string) []NodeID {
 func (f *Frozen) AppendCandidates(dst []NodeID, label string) []NodeID {
 	if label == Wildcard {
 		for i := range f.nodes {
+			if f.dead != nil && f.dead[i] {
+				continue
+			}
 			dst = append(dst, NodeID(i))
 		}
 		return dst
@@ -541,10 +604,10 @@ func (f *Frozen) AppendCandidates(dst []NodeID, label string) []NodeID {
 }
 
 // LabelFrequency returns the number of nodes carrying the label, with
-// wildcard counting every node.
+// wildcard counting every live node.
 func (f *Frozen) LabelFrequency(label string) int {
 	if label == Wildcard {
-		return len(f.nodes)
+		return len(f.nodes) - f.deadCount
 	}
 	return len(f.nodesWithLabel(label))
 }

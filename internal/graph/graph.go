@@ -84,6 +84,37 @@ func (a *labelAdj) add(id LabelID, n NodeID) {
 	a.lists = append(a.lists, []NodeID{n})
 }
 
+// remove deletes one occurrence of n from the label's list and from the
+// wildcard view. A label whose list empties keeps its (empty) slot; the
+// per-node distinct-label count is small enough that compaction buys
+// nothing.
+func (a *labelAdj) remove(id LabelID, n NodeID) {
+	a.all = removeSorted(a.all, n)
+	for i, l := range a.labels {
+		if l == id {
+			a.lists[i] = removeSorted(a.lists[i], n)
+			return
+		}
+	}
+}
+
+// removeSorted deletes one occurrence of n from an ascending list.
+func removeSorted(list []NodeID, n NodeID) []NodeID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= n })
+	if i == len(list) || list[i] != n {
+		return list
+	}
+	copy(list[i:], list[i+1:])
+	return list[:len(list)-1]
+}
+
+// containsSorted reports whether an ascending list contains n (binary
+// search; lists with duplicates work too).
+func containsSorted(list []NodeID, n NodeID) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= n })
+	return i < len(list) && list[i] == n
+}
+
 // insertSorted inserts n into an ascending list (duplicates allowed). The
 // tail fast path helps when endpoints arrive in ascending ID order (e.g.
 // in-lists during a Clone replay); arbitrary-order ingest pays an O(len)
@@ -150,6 +181,12 @@ type Graph struct {
 	// candidate enumeration during matching.
 	byLabel map[string][]NodeID
 	edges   int
+	// dead marks tombstoned nodes (see RemoveNode): the ID slot stays in the
+	// dense node space, but the node is excluded from candidate enumeration
+	// and carries no edges or attributes. nil until the first removal, so
+	// graphs that never remove pay nothing.
+	dead      []bool
+	deadCount int
 }
 
 // New returns an empty graph.
@@ -207,6 +244,9 @@ func (g *Graph) AddNode(label string) NodeID {
 	}
 	g.nodeLabelOf = append(g.nodeLabelOf, lid)
 	g.byLabel[label] = append(g.byLabel[label], id)
+	if g.dead != nil {
+		g.dead = append(g.dead, false)
+	}
 	return id
 }
 
@@ -239,9 +279,11 @@ func (g *Graph) AddNodeWithAttrs(label string, attrs map[string]string) NodeID {
 
 // AddEdge inserts a directed labeled edge. Multi-edges with distinct labels
 // are allowed; inserting the exact same (from,to,label) twice is idempotent.
+// Tombstoned endpoints are rejected: a removed node never regains edges
+// (matching Delta.AddEdge, and the invariant Frozen tombstones rely on).
 func (g *Graph) AddEdge(from, to NodeID, label string) {
-	if !g.valid(from) || !g.valid(to) {
-		panic(fmt.Sprintf("graph: AddEdge with invalid endpoint %d->%d", from, to))
+	if !g.Alive(from) || !g.Alive(to) {
+		panic(fmt.Sprintf("graph: AddEdge with invalid or removed endpoint %d->%d", from, to))
 	}
 	id := g.internEdgeLabel(label)
 	key := edgeKey{from: from, to: to, label: id}
@@ -258,10 +300,88 @@ func (g *Graph) AddEdge(from, to NodeID, label string) {
 	g.edges++
 }
 
-// SetAttr sets attribute A of node v to constant value c.
-func (g *Graph) SetAttr(v NodeID, attr, value string) {
+// RemoveEdge deletes the exact (from, label, to) triple if present. The
+// label is taken literally (no wildcard semantics: removing '_' removes only
+// an edge labeled '_'); absent edges are a no-op, mirroring AddEdge's
+// idempotence.
+func (g *Graph) RemoveEdge(from, to NodeID, label string) {
+	if !g.valid(from) || !g.valid(to) {
+		panic(fmt.Sprintf("graph: RemoveEdge with invalid endpoint %d->%d", from, to))
+	}
+	id, ok := g.labelIDs[label]
+	if !ok {
+		return
+	}
+	key := edgeKey{from: from, to: to, label: id}
+	if _, exists := g.edgeSet[key]; !exists {
+		return
+	}
+	delete(g.edgeSet, key)
+	g.out[from] = removeEdgeSlice(g.out[from], from, to, label)
+	g.in[to] = removeEdgeSlice(g.in[to], from, to, label)
+	g.outIdx[from].remove(id, to)
+	g.inIdx[to].remove(id, from)
+	if !containsSorted(g.outIdx[from].all, to) {
+		delete(g.pairSet, pair{from, to})
+	}
+	g.edges--
+}
+
+// removeEdgeSlice deletes the first matching edge, preserving order.
+func removeEdgeSlice(es []Edge, from, to NodeID, label string) []Edge {
+	for i, e := range es {
+		if e.From == from && e.To == to && e.Label == label {
+			copy(es[i:], es[i+1:])
+			return es[:len(es)-1]
+		}
+	}
+	return es
+}
+
+// RemoveNode tombstones node v: every incident edge is removed, its
+// attributes are dropped, and it is excluded from all candidate and label
+// queries. The ID slot itself is retired, not recycled — node IDs stay dense
+// slice offsets, so NumNodes keeps reporting the ID-space size (live plus
+// tombstoned) and existing IDs never shift. Removing an already-removed node
+// is a no-op.
+func (g *Graph) RemoveNode(v NodeID) {
 	if !g.valid(v) {
-		panic(fmt.Sprintf("graph: SetAttr on invalid node %d", v))
+		panic(fmt.Sprintf("graph: RemoveNode on invalid node %d", v))
+	}
+	if g.dead != nil && g.dead[v] {
+		return
+	}
+	for _, e := range append([]Edge(nil), g.out[v]...) {
+		g.RemoveEdge(e.From, e.To, e.Label)
+	}
+	for _, e := range append([]Edge(nil), g.in[v]...) {
+		g.RemoveEdge(e.From, e.To, e.Label)
+	}
+	label := g.nodes[v].Label
+	g.byLabel[label] = removeSorted(g.byLabel[label], v)
+	g.nodes[v].Attrs = nil
+	if g.dead == nil {
+		g.dead = make([]bool, len(g.nodes))
+	}
+	g.dead[v] = true
+	g.deadCount++
+}
+
+// Alive reports whether v is a valid, non-tombstoned node.
+func (g *Graph) Alive(v NodeID) bool {
+	return g.valid(v) && (g.dead == nil || !g.dead[v])
+}
+
+// LiveNodes returns the number of non-tombstoned nodes (NumNodes counts the
+// dense ID space, which retains removed slots).
+func (g *Graph) LiveNodes() int { return len(g.nodes) - g.deadCount }
+
+// SetAttr sets attribute A of node v to constant value c. Tombstoned nodes
+// are rejected: a removed node carries no attributes (matching
+// Delta.SetAttr).
+func (g *Graph) SetAttr(v NodeID, attr, value string) {
+	if !g.Alive(v) {
+		panic(fmt.Sprintf("graph: SetAttr on invalid or removed node %d", v))
 	}
 	n := &g.nodes[v]
 	if n.Attrs == nil {
@@ -383,6 +503,9 @@ func (g *Graph) CandidateNodes(label string) []NodeID {
 func (g *Graph) AppendCandidates(dst []NodeID, label string) []NodeID {
 	if label == Wildcard {
 		for i := range g.nodes {
+			if g.dead != nil && g.dead[i] {
+				continue
+			}
 			dst = append(dst, NodeID(i))
 		}
 		return dst
@@ -391,10 +514,10 @@ func (g *Graph) AppendCandidates(dst []NodeID, label string) []NodeID {
 }
 
 // LabelFrequency returns the number of nodes carrying the label, with
-// wildcard counting every node. Used for pivot selectivity.
+// wildcard counting every live node. Used for pivot selectivity.
 func (g *Graph) LabelFrequency(label string) int {
 	if label == Wildcard {
-		return len(g.nodes)
+		return len(g.nodes) - g.deadCount
 	}
 	return len(g.byLabel[label])
 }
@@ -465,17 +588,17 @@ func (g *Graph) Labels() []string {
 	return ls
 }
 
-// Size returns |G| counting nodes, edges, attributes and their values, the
-// measure used by the Σ-bounded small model property.
+// Size returns |G| counting live nodes, edges, attributes and their values,
+// the measure used by the Σ-bounded small model property.
 func (g *Graph) Size() int {
-	s := len(g.nodes) + g.edges
+	s := len(g.nodes) - g.deadCount + g.edges
 	for i := range g.nodes {
 		s += len(g.nodes[i].Attrs)
 	}
 	return s
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, tombstones included.
 func (g *Graph) Clone() *Graph {
 	c := New()
 	for i := range g.nodes {
@@ -488,6 +611,13 @@ func (g *Graph) Clone() *Graph {
 	for v := range g.out {
 		for _, e := range g.out[v] {
 			c.AddEdge(e.From, e.To, e.Label)
+		}
+	}
+	if g.dead != nil {
+		for v, d := range g.dead {
+			if d {
+				c.RemoveNode(NodeID(v))
+			}
 		}
 	}
 	return c
@@ -524,6 +654,9 @@ func (g *Graph) Subgraph(keep map[NodeID]bool) (*Graph, map[NodeID]NodeID) {
 			sub.SetAttr(nid, k, v)
 		}
 		remap[id] = nid
+		if g.dead != nil && g.dead[id] {
+			sub.RemoveNode(nid)
+		}
 	}
 	for _, id := range ids {
 		for _, e := range g.out[id] {
@@ -546,7 +679,9 @@ func (g *Graph) DisjointUnion(other *Graph) NodeID {
 		for k, v := range n.Attrs {
 			g.SetAttr(id, k, v)
 		}
-		_ = id
+		if other.dead != nil && other.dead[i] {
+			g.RemoveNode(id)
+		}
 	}
 	for v := range other.out {
 		for _, e := range other.out[v] {

@@ -1,11 +1,13 @@
 package graph
 
-// Reader is the read API shared by the two graph representations: the
-// mutable *Graph (incremental AddEdge, sorted-insert adjacency) and the
-// immutable *Frozen (bulk-loaded CSR snapshot, see Builder). The matching,
-// simulation, reasoning and discovery layers are written against Reader, so
-// they run unmodified on either representation; mutation (AddNode, AddEdge,
-// SetAttr, Clone, Subgraph, DisjointUnion) stays on *Graph.
+// Reader is the read API shared by the graph representations: the mutable
+// *Graph (incremental AddEdge, sorted-insert adjacency), the immutable
+// *Frozen (bulk-loaded CSR snapshot, see Builder) with its *Sharded/*Shard
+// partitioned views, and the *Overlay composing a *Delta of updates over a
+// Frozen base (see delta.go). The matching, simulation, reasoning and
+// discovery layers are written against Reader, so they run unmodified on
+// any representation; mutation (AddNode, AddEdge, SetAttr, Clone, Subgraph,
+// DisjointUnion, RemoveEdge, RemoveNode) stays on *Graph and *Delta.
 //
 // Contracts every implementation upholds:
 //
@@ -78,12 +80,14 @@ type Sink interface {
 	NumNodes() int
 }
 
-// Compile-time checks that both representations satisfy the interfaces.
+// Compile-time checks that every representation satisfies the interfaces.
 var (
 	_ Reader = (*Graph)(nil)
 	_ Reader = (*Frozen)(nil)
+	_ Reader = (*Overlay)(nil)
 	_ Sink   = (*Graph)(nil)
 	_ Sink   = (*Builder)(nil)
+	_ Sink   = (*Delta)(nil)
 )
 
 // neighborhood is the shared BFS behind Graph.Neighborhood and

@@ -51,10 +51,12 @@ type Shard struct {
 	f      *Frozen
 	lo, hi NodeID
 	// edges counts out-edges owned by the shard; frontierOut/frontierIn
-	// count the owned edges whose other endpoint lies outside [lo, hi).
+	// count the owned edges whose other endpoint lies outside [lo, hi);
+	// dead counts tombstoned slots in the range (see Frozen.Alive).
 	edges       int
 	frontierOut int
 	frontierIn  int
+	dead        int
 }
 
 // ShardedView is the optional interface a Reader implements when it is
@@ -91,8 +93,12 @@ func DefaultShardCount(nodes int) int {
 
 // Sharded carves the snapshot into k range-partitioned shards. The shards
 // alias the snapshot's arrays (carving is one O(V+E) counting pass, no edge
-// data is copied). k is clamped to [1, NumNodes] (an empty graph gets one
-// empty shard).
+// data is copied). Degenerate counts are clamped here, not left to callers:
+// k is forced into [1, NumNodes], an empty graph gets one empty shard, and
+// the all-empty trailing shards a non-dividing stride would otherwise
+// produce (e.g. k=9 over 10 nodes: stride 2 covers the node space in 5
+// shards, leaving 4 empty) are collapsed, so ShardCount never exceeds the
+// number of shards that own at least one node.
 func (f *Frozen) Sharded(k int) *Sharded {
 	n := len(f.nodes)
 	if k < 1 {
@@ -102,10 +108,11 @@ func (f *Frozen) Sharded(k int) *Sharded {
 		k = n
 	}
 	stride := 1
-	if k < 1 {
-		k = 1 // empty graph: one empty shard
-	} else {
+	if n > 0 {
 		stride = (n + k - 1) / k
+		k = (n + stride - 1) / stride // collapse the all-empty tail
+	} else {
+		k = 1 // empty graph: one empty shard
 	}
 	s := &Sharded{f: f, stride: stride}
 	s.starts = make([]NodeID, k+1)
@@ -118,22 +125,35 @@ func (f *Frozen) Sharded(k int) *Sharded {
 	}
 	s.shards = make([]Shard, k)
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.f = f
-		sh.lo, sh.hi = s.starts[i], s.starts[i+1]
-		sh.edges = int(f.out.off[sh.hi] - f.out.off[sh.lo])
-		for _, t := range f.out.targets[f.out.off[sh.lo]:f.out.off[sh.hi]] {
-			if t < sh.lo || t >= sh.hi {
-				sh.frontierOut++
-			}
+		s.shards[i] = carveShard(f, s.starts[i], s.starts[i+1])
+	}
+	return s
+}
+
+// carveShard runs the per-shard accounting pass: owned edge count, frontier
+// counts by direction, and tombstoned slots in range. Shared by Sharded and
+// the dirty-shard path of Sharded.Refreeze.
+func carveShard(f *Frozen, lo, hi NodeID) Shard {
+	sh := Shard{f: f, lo: lo, hi: hi}
+	sh.edges = int(f.out.off[hi] - f.out.off[lo])
+	for _, t := range f.out.targets[f.out.off[lo]:f.out.off[hi]] {
+		if t < lo || t >= hi {
+			sh.frontierOut++
 		}
-		for _, t := range f.in.targets[f.in.off[sh.lo]:f.in.off[sh.hi]] {
-			if t < sh.lo || t >= sh.hi {
-				sh.frontierIn++
+	}
+	for _, t := range f.in.targets[f.in.off[lo]:f.in.off[hi]] {
+		if t < lo || t >= hi {
+			sh.frontierIn++
+		}
+	}
+	if f.dead != nil {
+		for v := lo; v < hi; v++ {
+			if f.dead[v] {
+				sh.dead++
 			}
 		}
 	}
-	return s
+	return sh
 }
 
 // FreezeSharded is Freeze followed by Sharded(k): it consumes the builder
@@ -321,10 +341,10 @@ func (sh *Shard) Attr(v NodeID, attr string) (string, bool) { return sh.f.Attr(v
 // Attrs returns the attribute tuple of v (any node).
 func (sh *Shard) Attrs(v NodeID) map[string]string { return sh.f.Attrs(v) }
 
-// Size returns the owned share of |G|: owned nodes, their out-edges and
-// their attributes.
+// Size returns the owned share of |G|: owned live nodes, their out-edges
+// and their attributes.
 func (sh *Shard) Size() int {
-	s := sh.NumNodes() + sh.edges
+	s := sh.NumNodes() - sh.dead + sh.edges
 	for v := sh.lo; v < sh.hi; v++ {
 		s += len(sh.f.nodes[v].Attrs)
 	}
@@ -434,6 +454,9 @@ func (sh *Shard) CandidateNodes(label string) []NodeID {
 func (sh *Shard) AppendCandidates(dst []NodeID, label string) []NodeID {
 	if label == Wildcard {
 		for v := sh.lo; v < sh.hi; v++ {
+			if sh.f.dead != nil && sh.f.dead[v] {
+				continue
+			}
 			dst = append(dst, v)
 		}
 		return dst
@@ -441,10 +464,10 @@ func (sh *Shard) AppendCandidates(dst []NodeID, label string) []NodeID {
 	return append(dst, sh.ownedRun(label)...)
 }
 
-// LabelFrequency returns the number of owned nodes carrying the label.
+// LabelFrequency returns the number of owned live nodes carrying the label.
 func (sh *Shard) LabelFrequency(label string) int {
 	if label == Wildcard {
-		return sh.NumNodes()
+		return sh.NumNodes() - sh.dead
 	}
 	return len(sh.ownedRun(label))
 }

@@ -1,0 +1,72 @@
+// Delta-scoped candidate generation. When a graph changes by a small delta,
+// the only matches that can appear, vanish, or change their literal
+// evaluation are those whose image intersects the touched nodes: a match's
+// edges and attributes all live at its image, so an image disjoint from the
+// touched set is bitwise-identical in both versions of the graph. Because a
+// pattern edge always maps onto a data edge, the image of any match touching
+// a node t keeps its root variable within Radius(root) hops of t — so
+// restricting the root frame's candidates to the touched set's
+// radius-neighborhood (via Options.RootCandidates, the same hook the sharded
+// fan-out partitions with) re-enumerates exactly the matches that could have
+// changed. core.Revalidate builds incremental GFD revalidation on top.
+package match
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// MultiSourceNeighborhood returns the set of nodes within d undirected hops
+// of any seed (each seed included), one BFS expanding all seeds together —
+// the frontier of the union, not one BFS per seed. Seeds outside the
+// graph's ID space are ignored, so a touched set containing nodes added by
+// a delta can be probed against the pre-delta graph directly.
+func MultiSourceNeighborhood(g graph.Reader, seeds []graph.NodeID, d int) map[graph.NodeID]bool {
+	seen := make(map[graph.NodeID]bool, len(seeds))
+	frontier := make([]graph.NodeID, 0, len(seeds))
+	n := g.NumNodes()
+	for _, s := range seeds {
+		if s >= 0 && int(s) < n && !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, w := range g.OutByLabelID(u, graph.AnyLabel) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+			for _, w := range g.InByLabelID(u, graph.AnyLabel) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// ScopedRootCandidates returns the candidate list for the first variable of
+// order (the root frame) restricted to hood, ascending — ready to pass as
+// Options.RootCandidates together with the same Order. The restriction is
+// label-consistent by construction: it filters the root label's own
+// candidate set.
+func ScopedRootCandidates(p *pattern.Pattern, g graph.Reader, order []pattern.Var, hood map[graph.NodeID]bool) []graph.NodeID {
+	if len(order) == 0 {
+		return nil
+	}
+	cands := g.AppendCandidates(nil, p.Label(order[0]))
+	kept := cands[:0]
+	for _, v := range cands {
+		if hood[v] {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
