@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -374,6 +375,95 @@ func BenchmarkRefreezeRebuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bench.IngestFrozen(from, to, lab)
+	}
+}
+
+// BenchmarkSnapshotLoad measures graph.ReadSnapshot of the ingest base's
+// binary image (the workload the CI gate's snapshot_load_speedup ratio is
+// measured on). Compare with BenchmarkSnapshotRebuild for the load speedup.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	from, to, lab := bench.HubHeavyIngest(1)
+	img, err := bench.SnapshotImage(bench.IngestFrozen(from, to, lab))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.ReadSnapshot(bytes.NewReader(img)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRebuild is the from-edges comparison: Builder.Freeze over
+// the same workload's raw arrays — what serving would pay without the image.
+func BenchmarkSnapshotRebuild(b *testing.B) {
+	from, to, lab := bench.HubHeavyIngest(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.IngestFrozen(from, to, lab)
+	}
+}
+
+// BenchmarkSnapshotSave measures graph.Frozen.WriteSnapshot of the same
+// base to memory.
+func BenchmarkSnapshotSave(b *testing.B) {
+	from, to, lab := bench.HubHeavyIngest(1)
+	f := bench.IngestFrozen(from, to, lab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.SnapshotImage(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefreezeDeadBase and BenchmarkRefreezeCompacted bracket the CI
+// gate's compact_refreeze_speedup ratio: identical 1%-scale churn refrozen
+// against the 30%-dead base and against its compacted equivalent.
+func BenchmarkRefreezeDeadBase(b *testing.B) {
+	deadBase, _, _, mkDead, _, err := bench.CompactWorkload(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := mkDead()
+	d.Overlay()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deadBase.Refreeze(d)
+	}
+}
+
+func BenchmarkRefreezeCompacted(b *testing.B) {
+	_, compacted, _, _, mkCompact, err := bench.CompactWorkload(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := mkCompact()
+	d.Overlay()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compacted.Refreeze(d)
+	}
+}
+
+// BenchmarkWALRecover measures graph.Recover replaying the canonical
+// sampled update stream over its base.
+func BenchmarkWALRecover(b *testing.B) {
+	base, apply := bench.WALWorkload(1)
+	var log bytes.Buffer
+	w := graph.NewWAL(&log, graph.NewDelta(base))
+	apply(w)
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(log.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := graph.Recover(base, bytes.NewReader(log.Bytes())); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -17,8 +17,9 @@
 // every pipeline run emits BENCH_ci.json as an artifact gated against that
 // baseline. -cpuprofile/-memprofile write pprof profiles of the run (either
 // form), uploaded alongside the report so per-run perf trajectories are
-// inspectable with `go tool pprof`; they are flushed before any nonzero
-// exit.
+// inspectable with `go tool pprof`. Profiles and the BENCH_ci.json report
+// are both flushed before any nonzero exit, so a gated failure still
+// uploads its evidence.
 package main
 
 import (
@@ -42,7 +43,7 @@ func run() int {
 	scale := flag.Float64("scale", 0.025, "fraction of the paper's workload sizes (1.0 = paper scale)")
 	reps := flag.Int("reps", 3, "repetitions per cell (median reported)")
 	seed := flag.Int64("seed", 1, "workload seed")
-	only := flag.String("only", "", "run a single experiment (e.g. fig5, fig6a ... fig6l, sharded, incremental)")
+	only := flag.String("only", "", "run a single experiment (e.g. fig5, fig6a ... fig6l, sharded, incremental, persist)")
 	ciOut := flag.String("ci", "", "run the CI benchmark-regression suite and write its JSON report to this path")
 	baseline := flag.String("baseline", "", "with -ci: compare against this baseline report, exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "with -baseline: allowed fractional regression per gating metric")
@@ -107,18 +108,24 @@ func writeMemProfile(path string) {
 
 // runCI measures the regression suite, writes the report, and gates it
 // against the baseline when one is named, returning the process exit code.
+// The report is flushed before any exit-code decision — a gated regression
+// (exit 1) or a half-broken suite (exit 2) still uploads whatever metrics
+// were measured, so the CI artifact carries the evidence of the failure
+// instead of vanishing with it.
 func runCI(cfg bench.Config, out, baseline string, tolerance float64, start time.Time) int {
 	report, err := bench.RunCI(cfg)
+	if report != nil && len(report.Metrics) > 0 {
+		fmt.Print(report.Format())
+		if werr := bench.WriteCIReport(out, report); werr != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, werr)
+			return 2
+		}
+		fmt.Printf("wrote %s in %s\n", out, time.Since(start).Round(time.Millisecond))
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ci suite: %v\n", err)
 		return 2
 	}
-	fmt.Print(report.Format())
-	if err := bench.WriteCIReport(out, report); err != nil {
-		fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
-		return 2
-	}
-	fmt.Printf("wrote %s in %s\n", out, time.Since(start).Round(time.Millisecond))
 	if baseline == "" {
 		return 0
 	}

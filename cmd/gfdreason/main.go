@@ -1,27 +1,43 @@
 // Command gfdreason checks the satisfiability of a GFD set, the implication
 // of a target GFD, or the satisfaction of a data graph, from files in the
-// gfdio text formats.
+// gfdio formats, and manages the persistent graph store (binary snapshots
+// plus a write-ahead delta log).
 //
 // Usage:
 //
-//	gfdreason sat   [-p 4] [-seq] sigma.gfd
-//	gfdreason imp   [-p 4] [-seq] [-baseline] sigma.gfd target.gfd
-//	gfdreason check sigma.gfd graph.txt
+//	gfdreason sat      [-p 4] [-seq] sigma.gfd
+//	gfdreason imp      [-p 4] [-seq] [-baseline] sigma.gfd target.gfd
+//	gfdreason check    [-wal updates.wal] sigma.gfd graph
+//	gfdreason snapshot [-compact] graph store.snap
+//	gfdreason recover  [-threshold 0.25] [-o new.snap] store.snap updates.wal
 //
 // sat prints SATISFIABLE or UNSATISFIABLE (with the conflicting attribute),
 // imp prints IMPLIED or NOT-IMPLIED, check prints the violations of the
 // rules in the graph. Exit status 0 on success, 1 on a negative check
 // answer, 2 on usage or parse errors.
+//
+// Graph arguments accept either format transparently: the text format or a
+// binary snapshot image (sniffed by magic bytes). snapshot converts to the
+// binary store (optionally compacting tombstones first); check -wal
+// recovers a delta log over the store and validates the composed state, so
+// the check pipeline runs against a saved store without rebuilding it;
+// recover replays a log (truncating any torn tail), folds it into the
+// snapshot via the compaction-policy refreeze, and writes the next store
+// image — the log is NOT deleted, remove or rotate it once the new image is
+// durable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/gfd"
 	"repro/internal/gfdio"
+	"repro/internal/graph"
 	"repro/internal/rdfchase"
 )
 
@@ -34,6 +50,11 @@ func main() {
 	workers := fs.Int("p", 4, "parallel workers (ignored with -seq)")
 	seq := fs.Bool("seq", false, "use the sequential algorithm")
 	baseline := fs.Bool("baseline", false, "imp only: use the chase baseline (ParImpRDF)")
+	wal := fs.String("wal", "", "check only: recover this delta log over the graph before checking")
+	compact := fs.Bool("compact", false, "snapshot only: drop tombstoned node slots (renumbers IDs)")
+	threshold := fs.Float64("threshold", graph.DefaultCompactThreshold,
+		"recover only: dead-slot fraction that triggers compaction (0 compacts any dead slot, negative disables)")
+	output := fs.String("o", "", "recover only: write the folded snapshot here (default: overwrite the store)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -91,18 +112,33 @@ func main() {
 			usage()
 		}
 		set := readSet(args[0])
-		f, err := os.Open(args[1])
-		if err != nil {
-			fatalf("%v", err)
+		// Validation is read-only over a potentially large graph: load the
+		// CSR snapshot directly (binary store) or ingest through the
+		// bulk-load Builder (text format).
+		g := readGraph(args[1])
+		var data graph.Reader = g
+		if *wal != "" {
+			// check is read-only: replay without touching the file. A writer
+			// may still be appending to this log; RecoverFile's torn-tail
+			// truncation here would cut a record the writer goes on to
+			// complete, stranding everything after it. Only `recover` — the
+			// command that folds the log away — repairs the file.
+			lf, err := os.Open(*wal)
+			if err != nil {
+				fatalf("recover %s: %v", *wal, err)
+			}
+			d, stats, err := graph.Recover(g, lf)
+			lf.Close()
+			if err != nil {
+				fatalf("recover %s: %v", *wal, err)
+			}
+			if stats.Truncated {
+				fmt.Fprintf(os.Stderr, "note: %s carries a torn tail; checking the %d complete ops (%d bytes)\n",
+					*wal, stats.Records, stats.Bytes)
+			}
+			data = d.Overlay()
 		}
-		defer f.Close()
-		// Validation is read-only over a potentially large graph: ingest
-		// through the bulk-load Builder and check against the CSR snapshot.
-		g, err := gfdio.ReadFrozenGraph(f)
-		if err != nil {
-			fatalf("parse %s: %v", args[1], err)
-		}
-		vs := core.Violations(g, set)
+		vs := core.Violations(data, set)
 		if len(vs) == 0 {
 			fmt.Println("CLEAN: graph satisfies all rules")
 			return
@@ -111,8 +147,108 @@ func main() {
 			fmt.Printf("violation of %s at %v\n", v.GFD.Name, v.Match)
 		}
 		os.Exit(1)
+	case "snapshot":
+		if len(args) != 2 {
+			usage()
+		}
+		g := readGraph(args[0])
+		if *compact {
+			var remap graph.Remap
+			if g, remap = g.Compact(); remap != nil {
+				fmt.Fprintf(os.Stderr, "note: compaction dropped %d dead slots and renumbered node IDs\n",
+					len(remap)-g.NumNodes())
+			}
+		}
+		writeSnapshot(args[1], g)
+		fmt.Printf("wrote %s: %d nodes (%d live), %d edges\n", args[1], g.NumNodes(), g.LiveNodes(), g.NumEdges())
+	case "recover":
+		if len(args) != 2 {
+			usage()
+		}
+		g := readGraph(args[0])
+		d, stats, err := recoverLog(g, args[1])
+		if err != nil {
+			fatalf("recover %s: %v", args[1], err)
+		}
+		if stats.Truncated {
+			fmt.Fprintf(os.Stderr, "note: %s carried a torn tail; truncated to %d bytes\n", args[1], stats.Bytes)
+		}
+		// RefreezeOptions treats 0 as "use the default" (the Go options
+		// idiom); the flag's 0 means "compact any dead slot", so translate
+		// to the smallest positive threshold.
+		thr := *threshold
+		if thr == 0 {
+			thr = math.SmallestNonzeroFloat64
+		}
+		nf, remap := g.RefreezeOpts(d, graph.RefreezeOptions{CompactThreshold: thr})
+		out := *output
+		if out == "" {
+			out = args[0]
+		}
+		writeSnapshot(out, nf)
+		action, dead := "carried", nf.NumNodes()-nf.LiveNodes()
+		if remap != nil {
+			action, dead = "compacted away", len(remap)-nf.NumNodes()
+		}
+		fmt.Printf("replayed %d ops over %s; %s %d dead slots; wrote %s: %d nodes (%d live), %d edges\n",
+			stats.Records, args[0], action, dead, out, nf.NumNodes(), nf.LiveNodes(), nf.NumEdges())
 	default:
 		usage()
+	}
+}
+
+// recoverLog is graph.RecoverFile for an explicitly named log: the
+// library's missing-file-recovers-empty semantic suits restart flows where
+// nothing was ever logged, but a user who typed a path wants the typo
+// reported, not a silently empty replay.
+func recoverLog(base *graph.Frozen, path string) (*graph.Delta, graph.RecoverStats, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, graph.RecoverStats{}, err
+	}
+	return graph.RecoverFile(base, path)
+}
+
+// readGraph loads a data graph in either format (text or binary snapshot).
+func readGraph(path string) *graph.Frozen {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	g, err := gfdio.ReadAnyGraph(f)
+	if err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	return g
+}
+
+// writeSnapshot writes the binary store image atomically enough for a tool:
+// to a temp file in the same directory, then rename, so a crash mid-write
+// never leaves a half-image at the target path. Cleanup is explicit, not
+// deferred: fatalf exits the process, which would skip a defer and leak
+// the partial .gfdsnap-* file on every failed run.
+func writeSnapshot(path string, g *graph.Frozen) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gfdsnap-*")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fail := func(format string, args ...any) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		fatalf(format, args...)
+	}
+	if err := gfdio.WriteSnapshot(tmp, g); err != nil {
+		fail("write %s: %v", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		fail("sync %s: %v", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		fail("close %s: %v", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		fatalf("rename to %s: %v", path, err)
 	}
 }
 
@@ -136,8 +272,11 @@ func fatalf(format string, args ...any) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gfdreason sat   [-p 4] [-seq] sigma.gfd
-  gfdreason imp   [-p 4] [-seq] [-baseline] sigma.gfd target.gfd
-  gfdreason check sigma.gfd graph.txt`)
+  gfdreason sat      [-p 4] [-seq] sigma.gfd
+  gfdreason imp      [-p 4] [-seq] [-baseline] sigma.gfd target.gfd
+  gfdreason check    [-wal updates.wal] sigma.gfd graph
+  gfdreason snapshot [-compact] graph store.snap
+  gfdreason recover  [-threshold 0.25] [-o new.snap] store.snap updates.wal
+graph arguments accept the text format or a binary snapshot image`)
 	os.Exit(2)
 }

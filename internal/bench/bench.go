@@ -703,7 +703,7 @@ func Incremental(cfg Config) *Report {
 }
 
 // All runs every experiment in paper order, then the repo's own index,
-// sharding and incremental experiments.
+// sharding, incremental and persistence experiments.
 func All(cfg Config) []*Report {
 	return []*Report{
 		Fig5(cfg),
@@ -714,6 +714,7 @@ func All(cfg Config) []*Report {
 		MatchIndex(cfg),
 		Sharded(cfg),
 		Incremental(cfg),
+		Persist(cfg),
 	}
 }
 
@@ -724,7 +725,7 @@ func ByName(name string) func(Config) *Report {
 		"fig6d": Fig6d, "fig6e": Fig6e, "fig6f": Fig6f, "fig6g": Fig6g,
 		"fig6h": Fig6h, "fig6i": Fig6i, "fig6j": Fig6j, "fig6k": Fig6k,
 		"fig6l": Fig6l, "matchindex": MatchIndex, "sharded": Sharded,
-		"incremental": Incremental,
+		"incremental": Incremental, "persist": Persist,
 	}
 	return m[strings.ToLower(name)]
 }

@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -264,22 +265,41 @@ func ParWorkload(seed int64) (*gfd.Set, core.ParOptions) {
 // flat single-threaded enumeration of the same workload, the
 // work-stealing executor against the central-queue baseline, the
 // incremental re-freeze against a from-scratch rebuild of the same final
-// state, and incremental revalidation against full re-validation after a
-// small delta. Wall time is a few seconds. The suite is
+// state, incremental revalidation against full re-validation after a
+// small delta, and the persistence metrics (snapshot load vs
+// rebuild-from-edges, refreeze on a compacted vs tombstone-heavy base, WAL
+// recovery). Wall time is a few seconds. The suite is
 // fixed-size by design — Config.Scale does not apply — so reports stay
 // comparable across baselines; Seed reseeds both workloads and Reps sets
-// the per-measurement median width. It errors instead of reporting when
-// the workload cannot be built (a gate on garbage numbers is worse than no
-// gate).
+// the per-measurement median width. It errors instead of gating when a
+// workload cannot be built (a gate on garbage numbers is worse than no
+// gate); the report measured up to that point is still returned beside the
+// error, so callers can flush the partial artifact.
 func RunCI(cfg Config) (*CIReport, error) {
 	cfg = cfg.withDefaults()
+	report := &CIReport{}
+	msOf := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	gauge := func(name string, num, den time.Duration) {
+		v := 0.0
+		if den > 0 {
+			v = float64(num) / float64(den)
+		}
+		report.Metrics = append(report.Metrics, Metric{Name: name, Value: v, Unit: "x", HigherIsBetter: true})
+	}
+	info := func(name string, d time.Duration) {
+		report.Metrics = append(report.Metrics, Metric{Name: name, Value: msOf(d), Unit: "ms", Informational: true})
+	}
+
 	from, to, lab := HubHeavyIngest(cfg.Seed)
 	incremental := medianTime(cfg.Reps, func() { IngestIncremental(from, to, lab) })
 	freeze := medianTime(cfg.Reps, func() { IngestFrozen(from, to, lab) })
+	gauge("freeze_ingest_speedup", incremental, freeze)
+	info("incremental_ingest_ms", incremental)
+	info("freeze_ingest_ms", freeze)
 
 	g, ps, err := MatchWorkload(cfg.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("cannot measure match metrics: %v", err)
+		return report, fmt.Errorf("cannot measure match metrics: %v", err)
 	}
 	f := g.Frozen()
 	matchAll := func(data graph.Reader, scan bool) time.Duration {
@@ -291,6 +311,11 @@ func RunCI(cfg Config) (*CIReport, error) {
 		})
 	}
 	frozen, indexed, scan := matchAll(f, false), matchAll(g, false), matchAll(g, true)
+	gauge("match_indexed_speedup", scan, indexed)
+	gauge("match_frozen_gain", indexed, frozen)
+	info("match_frozen_ms", frozen)
+	info("match_indexed_ms", indexed)
+	info("match_scan_ms", scan)
 
 	// Sharded fan-out vs the flat single-threaded enumeration of the same
 	// workload. The ratio is gated with a deliberately conservative baseline
@@ -303,6 +328,8 @@ func RunCI(cfg Config) (*CIReport, error) {
 			match.CountSharded(p, sh, CIShardWorkers, match.Options{})
 		}
 	})
+	gauge("match_sharded_speedup", frozen, sharded)
+	info("match_sharded_ms", sharded)
 
 	// Work-stealing vs central-queue executor on the shared parallel
 	// reasoning workload, same conservative-floor rationale.
@@ -311,6 +338,9 @@ func RunCI(cfg Config) (*CIReport, error) {
 	copt.Stealing = false
 	stealT := medianTime(cfg.Reps, func() { core.ParSat(set, popt) })
 	centralT := medianTime(cfg.Reps, func() { core.ParSat(set, copt) })
+	gauge("parsat_steal_speedup", centralT, stealT)
+	info("parsat_steal_ms", stealT)
+	info("parsat_central_ms", centralT)
 
 	// Incremental re-freeze vs from-scratch rebuild of the same final state
 	// on the 100k-edge ingest base with a 1% delta. Each rep gets its own
@@ -340,16 +370,19 @@ func RunCI(cfg Config) (*CIReport, error) {
 		rep++
 	})
 	if want := IngestFrozen(ffrom, fto, flab); refrozen.NumEdges() != want.NumEdges() {
-		return nil, fmt.Errorf("refreeze produced %d edges, rebuild %d: workload is broken",
+		return report, fmt.Errorf("refreeze produced %d edges, rebuild %d: workload is broken",
 			refrozen.NumEdges(), want.NumEdges())
 	}
+	gauge("refreeze_speedup", rebuildT, refreezeT)
+	info("refreeze_ms", refreezeT)
+	info("rebuild_ms", rebuildT)
 
 	// Incremental revalidation vs full re-validation after a small delta,
 	// both sequential over the same overlay — again a machine-independent
 	// algorithmic ratio.
 	vset, vbase, vdelta, err := ValidateWorkload(cfg.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("cannot measure revalidation metrics: %v", err)
+		return report, fmt.Errorf("cannot measure revalidation metrics: %v", err)
 	}
 	prev := core.Violations(vbase, vset)
 	overlay := vdelta.Overlay()
@@ -357,35 +390,68 @@ func RunCI(cfg Config) (*CIReport, error) {
 	incrValT := minTime(incrReps, func() {
 		core.RevalidateDelta(vset, vdelta, prev, core.RevalidateOptions{})
 	})
+	gauge("incr_validate_speedup", fullValT, incrValT)
+	info("incr_validate_ms", incrValT)
+	info("full_validate_ms", fullValT)
 
-	ratio := func(num, den time.Duration) float64 {
-		if den <= 0 {
-			return 0
-		}
-		return float64(num) / float64(den)
+	// Snapshot load vs the same rebuild-from-edges the freeze metric timed:
+	// both produce the base snapshot, one by sorting raw edges, one by
+	// decoding the binary image. Single-threaded and deterministic, so the
+	// ratio is machine-independent and min-of-N applies.
+	img, err := SnapshotImage(base)
+	if err != nil {
+		return report, fmt.Errorf("cannot serialize the snapshot workload: %v", err)
 	}
-	msOf := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-	report := &CIReport{Metrics: []Metric{
-		{Name: "freeze_ingest_speedup", Value: ratio(incremental, freeze), Unit: "x", HigherIsBetter: true},
-		{Name: "match_indexed_speedup", Value: ratio(scan, indexed), Unit: "x", HigherIsBetter: true},
-		{Name: "match_frozen_gain", Value: ratio(indexed, frozen), Unit: "x", HigherIsBetter: true},
-		{Name: "match_sharded_speedup", Value: ratio(frozen, sharded), Unit: "x", HigherIsBetter: true},
-		{Name: "parsat_steal_speedup", Value: ratio(centralT, stealT), Unit: "x", HigherIsBetter: true},
-		{Name: "refreeze_speedup", Value: ratio(rebuildT, refreezeT), Unit: "x", HigherIsBetter: true},
-		{Name: "incr_validate_speedup", Value: ratio(fullValT, incrValT), Unit: "x", HigherIsBetter: true},
-		{Name: "incremental_ingest_ms", Value: msOf(incremental), Unit: "ms", Informational: true},
-		{Name: "freeze_ingest_ms", Value: msOf(freeze), Unit: "ms", Informational: true},
-		{Name: "match_frozen_ms", Value: msOf(frozen), Unit: "ms", Informational: true},
-		{Name: "match_indexed_ms", Value: msOf(indexed), Unit: "ms", Informational: true},
-		{Name: "match_scan_ms", Value: msOf(scan), Unit: "ms", Informational: true},
-		{Name: "match_sharded_ms", Value: msOf(sharded), Unit: "ms", Informational: true},
-		{Name: "parsat_steal_ms", Value: msOf(stealT), Unit: "ms", Informational: true},
-		{Name: "parsat_central_ms", Value: msOf(centralT), Unit: "ms", Informational: true},
-		{Name: "refreeze_ms", Value: msOf(refreezeT), Unit: "ms", Informational: true},
-		{Name: "rebuild_ms", Value: msOf(rebuildT), Unit: "ms", Informational: true},
-		{Name: "incr_validate_ms", Value: msOf(incrValT), Unit: "ms", Informational: true},
-		{Name: "full_validate_ms", Value: msOf(fullValT), Unit: "ms", Informational: true},
-	}}
+	saveT := minTime(cfg.Reps, func() {
+		if _, serr := SnapshotImage(base); serr != nil {
+			panic(serr)
+		}
+	})
+	var loadErr error
+	loadT := minTime(incrReps, func() {
+		if _, loadErr = graph.ReadSnapshot(bytes.NewReader(img)); loadErr != nil {
+			panic(loadErr)
+		}
+	})
+	gauge("snapshot_load_speedup", freeze, loadT)
+	info("snapshot_save_ms", saveT)
+	info("snapshot_load_ms", loadT)
+
+	// Refreeze of identical churn against a 30%-dead base vs its compacted
+	// equivalent: the compaction win on the V-proportional refreeze work.
+	// Same machine-independence rationale as refreeze_speedup.
+	deadBase, compacted, _, mkDead, mkCompact, err := CompactWorkload(cfg.Seed)
+	if err != nil {
+		return report, fmt.Errorf("cannot build the compaction workload: %v", err)
+	}
+	dDead, dComp := mkDead(), mkCompact()
+	dDead.Overlay()
+	dComp.Overlay()
+	compactT := minTime(cfg.Reps, func() { deadBase.Compact() })
+	deadT := minTime(incrReps, func() { deadBase.Refreeze(dDead) })
+	compT := minTime(incrReps, func() { compacted.Refreeze(dComp) })
+	gauge("compact_refreeze_speedup", deadT, compT)
+	info("compact_ms", compactT)
+	info("refreeze_dead_ms", deadT)
+	info("refreeze_compacted_ms", compT)
+
+	// WAL recovery over the sampled update stream: informational only (an
+	// absolute time), recorded so recovery-cost trends stay visible in the
+	// artifact.
+	wbase, apply := WALWorkload(cfg.Seed)
+	var log bytes.Buffer
+	w := graph.NewWAL(&log, graph.NewDelta(wbase))
+	apply(w)
+	if err := w.Close(); err != nil {
+		return report, fmt.Errorf("cannot build the WAL workload: %v", err)
+	}
+	recT := minTime(cfg.Reps, func() {
+		if _, _, rerr := graph.Recover(wbase, bytes.NewReader(log.Bytes())); rerr != nil {
+			panic(rerr)
+		}
+	})
+	info("wal_recover_ms", recT)
+
 	return report, nil
 }
 

@@ -13,6 +13,7 @@ package dataset
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
@@ -201,8 +202,17 @@ func (p *Profile) SampleSharded(cfg GraphConfig, shards int) *graph.Sharded {
 // Frozen.Refreeze/Delta.Overlay for the continuously-changing-graph
 // workloads.
 func (p *Profile) SampleDelta(base *graph.Frozen, ops int, seed int64) *graph.Delta {
-	rng := rand.New(rand.NewSource(seed))
 	d := graph.NewDelta(base)
+	p.SampleDeltaInto(d, ops, seed)
+	return d
+}
+
+// SampleDeltaInto is SampleDelta against any graph.Mutator: a bare Delta, or
+// a WAL fronting one — which persists the identical op stream as it is
+// generated, the fixture path for the recovery tests and benchmarks.
+func (p *Profile) SampleDeltaInto(d graph.Mutator, ops int, seed int64) {
+	base := d.Base()
+	rng := rand.New(rand.NewSource(seed))
 	labelIdx := make(map[string]int, len(p.NodeLabels))
 	for i, l := range p.NodeLabels {
 		labelIdx[l] = i
@@ -268,7 +278,13 @@ func (p *Profile) SampleDelta(base *graph.Frozen, ops int, seed int64) *graph.De
 			}
 		}
 	}
-	return d
+}
+
+// SampleSnapshotTo writes a SampleFrozen graph straight to a binary
+// snapshot image: the persisted-fixture path for tools and tests that want
+// an on-disk store without a text intermediary.
+func (p *Profile) SampleSnapshotTo(w io.Writer, cfg GraphConfig) error {
+	return p.SampleFrozen(cfg).WriteSnapshot(w)
 }
 
 func (cfg GraphConfig) withDefaults() GraphConfig {

@@ -1,8 +1,8 @@
 package dataset
 
 import (
+	"bytes"
 	"fmt"
-
 	"testing"
 
 	"repro/internal/graph"
@@ -199,5 +199,36 @@ func TestSampleDelta(t *testing.T) {
 				t.Fatalf("edge label %q not in the profile", e.Label)
 			}
 		}
+	}
+}
+
+// TestSampleDeltaIntoWAL pins the persisted-fixture path: streaming the
+// sampled ops through a WAL produces the same delta as the bare in-memory
+// one, and recovering the log reproduces it exactly.
+func TestSampleDeltaIntoWAL(t *testing.T) {
+	p := YAGO2()
+	base := p.SampleFrozen(GraphConfig{Nodes: 200, EdgesPerNode: 3, Seed: 7})
+	bare := p.SampleDelta(base, 40, 11)
+
+	var log bytes.Buffer
+	w := graph.NewWAL(&log, graph.NewDelta(base))
+	p.SampleDeltaInto(w, 40, 11)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Delta().String() != bare.String() {
+		t.Fatalf("WAL-fronted delta diverges: %v vs %v", w.Delta(), bare)
+	}
+	rec, stats, err := graph.Recover(base, bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated || rec.String() != bare.String() {
+		t.Fatalf("recovered delta diverges (%+v): %v vs %v", stats, rec, bare)
+	}
+	nf, rf := base.Refreeze(rec), base.Refreeze(bare)
+	if nf.NumNodes() != rf.NumNodes() || nf.NumEdges() != rf.NumEdges() {
+		t.Fatalf("refrozen recovery diverges: (%d,%d) vs (%d,%d)",
+			nf.NumNodes(), nf.NumEdges(), rf.NumNodes(), rf.NumEdges())
 	}
 }

@@ -219,8 +219,8 @@ func induceRules(p *pattern.Pattern, g graph.Reader, ms []match.Assignment, cfg 
 				}
 			}
 			if constant {
-				r := gfd.MustNew("", clonePattern(p), nil, []gfd.Literal{gfd.Const(x, a, val)})
-				if validate(r) {
+				r, err := gfd.New("", clonePattern(p), nil, []gfd.Literal{gfd.Const(x, a, val)})
+				if err == nil && validate(r) {
 					rules = append(rules, r)
 				}
 				continue
@@ -261,8 +261,8 @@ func mineDependency(p *pattern.Pattern, g graph.Reader, ms []match.Assignment, x
 	}
 	var out []*gfd.GFD
 	if equal {
-		r := gfd.MustNew("", clonePattern(p), nil, []gfd.Literal{gfd.Vars(x, a, y, b)})
-		if validate(r) {
+		r, err := gfd.New("", clonePattern(p), nil, []gfd.Literal{gfd.Vars(x, a, y, b)})
+		if err == nil && validate(r) {
 			out = append(out, r)
 		}
 		return out
@@ -274,10 +274,10 @@ func mineDependency(p *pattern.Pattern, g graph.Reader, ms []match.Assignment, x
 		}
 		sort.Strings(keys)
 		for _, c := range keys {
-			r := gfd.MustNew("", clonePattern(p),
+			r, err := gfd.New("", clonePattern(p),
 				[]gfd.Literal{gfd.Const(x, a, c)},
 				[]gfd.Literal{gfd.Const(y, b, image[c])})
-			if validate(r) {
+			if err == nil && validate(r) {
 				out = append(out, r)
 			}
 		}

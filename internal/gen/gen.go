@@ -25,6 +25,19 @@ import (
 	"repro/internal/pattern"
 )
 
+// newGFD routes GFD construction through the error-returning gfd.New
+// (gfd.MustNew is a test/example helper). The generator only ever builds
+// literals over its own patterns' declared variables, so a validation
+// failure is a generator bug and is asserted as such rather than silently
+// dropped.
+func newGFD(name string, p *pattern.Pattern, xs, ys []gfd.Literal) *gfd.GFD {
+	phi, err := gfd.New(name, p, xs, ys)
+	if err != nil {
+		panic(fmt.Sprintf("gen: generated an invalid GFD: %v", err))
+	}
+	return phi
+}
+
 // Config controls generation.
 type Config struct {
 	// N is |Σ|, the number of GFDs (paper: up to 10000).
@@ -364,7 +377,7 @@ func (g *Generator) gfd(name string, forceEmptyX bool) *gfd.GFD {
 	for i := 0; i < ny; i++ {
 		ys = append(ys, g.consistentLiteral(p))
 	}
-	return gfd.MustNew(name, p, xs, ys)
+	return newGFD(name, p, xs, ys)
 }
 
 // anchorGFD builds a single-node, empty-antecedent, W-consistent GFD that
@@ -374,7 +387,7 @@ func (g *Generator) anchorGFD(name string) *gfd.GFD {
 	p := pattern.New()
 	p.AddVar("x", g.headLabel())
 	a := g.attrFor(p.Label(0))
-	return gfd.MustNew(name, p, nil, []gfd.Literal{gfd.Const(0, a, g.wOf(p.Label(0), a))})
+	return newGFD(name, p, nil, []gfd.Literal{gfd.Const(0, a, g.wOf(p.Label(0), a))})
 }
 
 // conflictGFD negates the anchor's constant literal on the same label.
@@ -382,7 +395,7 @@ func (g *Generator) conflictGFD(name string, anchor *gfd.GFD) *gfd.GFD {
 	l := anchor.Y[0]
 	p := pattern.New()
 	p.AddVar("x", anchor.Pattern.Label(l.X))
-	return gfd.MustNew(name, p, nil, []gfd.Literal{gfd.Const(0, l.A, l.Const+"'")})
+	return newGFD(name, p, nil, []gfd.Literal{gfd.Const(0, l.A, l.Const+"'")})
 }
 
 // Set generates Σ per the configuration. With Conflicts == 0 the result is
@@ -417,7 +430,7 @@ func (g *Generator) ImpliedGFD(set *gfd.Set) *gfd.GFD {
 	// Strengthen X with a consistent literal (on the same pattern).
 	xs = append(xs, g.consistentLiteral(base.Pattern))
 	ys := []gfd.Literal{base.Y[g.rng.Intn(len(base.Y))]}
-	return gfd.MustNew(base.Name+"-implied", base.Pattern, xs, ys)
+	return newGFD(base.Name+"-implied", base.Pattern, xs, ys)
 }
 
 // ImpInstance builds an implication instance (Σ', φ) whose decision
@@ -455,7 +468,7 @@ func (g *Generator) ImpInstance(chainLen int) (*gfd.Set, *gfd.GFD) {
 	for i := chainLen - 1; i >= 0; i-- {
 		p := pattern.New()
 		p.AddVar("x", label)
-		set.Add(gfd.MustNew(fmt.Sprintf("chain%d", i), p,
+		set.Add(newGFD(fmt.Sprintf("chain%d", i), p,
 			[]gfd.Literal{gfd.Const(0, chainAttrs[i], g.wOf(label, chainAttrs[i]))},
 			[]gfd.Literal{gfd.Const(0, chainAttrs[i+1], g.wOf(label, chainAttrs[i+1]))}))
 	}
@@ -474,7 +487,7 @@ func (g *Generator) ImpInstance(chainLen int) (*gfd.Set, *gfd.GFD) {
 			qp.AddEdge(0, seedVar, fe[0][1])
 		}
 	}
-	phi := gfd.MustNew("target", qp,
+	phi := newGFD("target", qp,
 		[]gfd.Literal{gfd.Const(seedVar, chainAttrs[0], g.wOf(label, chainAttrs[0]))},
 		[]gfd.Literal{gfd.Const(seedVar, chainAttrs[chainLen], "never")})
 	return set, phi
@@ -486,7 +499,7 @@ func (g *Generator) NonImpliedGFD() *gfd.GFD {
 	p := g.Pattern()
 	x := pattern.Var(g.rng.Intn(p.NumVars()))
 	a := g.attrFor(p.Label(x))
-	return gfd.MustNew("non-implied", p, nil, []gfd.Literal{gfd.Const(x, a, "never")})
+	return newGFD("non-implied", p, nil, []gfd.Literal{gfd.Const(x, a, "never")})
 }
 
 // ConsistentGraph materializes a data graph where every node's attributes
@@ -611,7 +624,7 @@ func (g *Generator) ValidationSet(max int) *gfd.Set {
 	set := gfd.NewSet()
 	for i, p := range SchemaTriangles(g.frequentEdges, max) {
 		a := g.attrFor(p.Label(0))
-		set.Add(gfd.MustNew(fmt.Sprintf("tri%d", i), p, nil,
+		set.Add(newGFD(fmt.Sprintf("tri%d", i), p, nil,
 			[]gfd.Literal{gfd.Const(0, a, g.wOf(p.Label(0), a))}))
 	}
 	return set
@@ -624,7 +637,10 @@ func (g *Generator) ValidationSet(max int) *gfd.Set {
 // attribute rewrites split between W-consistent values and fresh noise
 // values that flip literal evaluations. The op mix mirrors a slowly
 // changing graph: mostly edge churn, some attribute churn, rare node churn.
-func (g *Generator) MutateDelta(d *graph.Delta, n int) {
+// The target is any graph.Mutator: a bare in-memory Delta, or a WAL fronting
+// one — the latter persists the stream as it is generated, the fixture path
+// for recovery tests and benchmarks.
+func (g *Generator) MutateDelta(d graph.Mutator, n int) {
 	base := d.Base()
 	alive := func() (graph.NodeID, bool) {
 		for try := 0; try < 16 && d.NumNodes() > 0; try++ {

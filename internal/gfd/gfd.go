@@ -86,7 +86,10 @@ func New(name string, p *pattern.Pattern, x, y []Literal) (*GFD, error) {
 	return g, nil
 }
 
-// MustNew is New that panics on error; intended for tests and examples.
+// MustNew is New that panics on error. It is a test and example helper
+// only: library code routes through New and handles the error (parsers
+// propagate it, miners skip the candidate, generators assert their own
+// construction invariant).
 func MustNew(name string, p *pattern.Pattern, x, y []Literal) *GFD {
 	g, err := New(name, p, x, y)
 	if err != nil {

@@ -112,15 +112,6 @@ func New(name string, p *pattern.Pattern, x, y []Literal) (*GFD, error) {
 	return &GFD{Name: name, Pattern: p, X: x, Y: y}, nil
 }
 
-// MustNew is New that panics on error.
-func MustNew(name string, p *pattern.Pattern, x, y []Literal) *GFD {
-	g, err := New(name, p, x, y)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // Set is an ordered set of extended GFDs.
 type Set struct {
 	GFDs []*GFD
@@ -130,8 +121,10 @@ type Set struct {
 func NewSet(gs ...*GFD) *Set { return &Set{GFDs: gs} }
 
 // AsPlain lowers the set to plain GFDs when every literal is an equality;
-// it returns nil if any literal uses another predicate. Used to cross-check
-// the extended checker against core.SeqSat on the shared fragment.
+// it returns nil if any literal uses another predicate (or a lowered GFD
+// fails plain validation, which New here already rules out). Used to
+// cross-check the extended checker against core.SeqSat on the shared
+// fragment.
 func (s *Set) AsPlain() *gfd.Set {
 	out := gfd.NewSet()
 	for _, g := range s.GFDs {
@@ -150,7 +143,11 @@ func (s *Set) AsPlain() *gfd.Set {
 			}
 			ys = append(ys, pl)
 		}
-		out.Add(gfd.MustNew(g.Name, g.Pattern, xs, ys))
+		pg, err := gfd.New(g.Name, g.Pattern, xs, ys)
+		if err != nil {
+			return nil
+		}
+		out.Add(pg)
 	}
 	return out
 }
@@ -170,7 +167,11 @@ func plainLiteral(l Literal) (gfd.Literal, bool) {
 func (s *Set) patternSet() *gfd.Set {
 	out := gfd.NewSet()
 	for _, g := range s.GFDs {
-		out.Add(gfd.MustNew(g.Name, g.Pattern, nil, nil))
+		pg, err := gfd.New(g.Name, g.Pattern, nil, nil)
+		if err != nil {
+			continue // unreachable: with no literals there is nothing to validate
+		}
+		out.Add(pg)
 	}
 	return out
 }

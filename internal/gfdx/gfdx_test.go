@@ -9,6 +9,16 @@ import (
 	"repro/internal/pattern"
 )
 
+// MustNew is the test-only panic-on-error constructor (library code routes
+// through New and handles the error).
+func MustNew(name string, p *pattern.Pattern, x, y []Literal) *GFD {
+	g, err := New(name, p, x, y)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 func oneVar(label string) *pattern.Pattern {
 	p := pattern.New()
 	p.AddVar("x", label)

@@ -73,15 +73,26 @@ func (f *Frozen) Refreeze(d *Delta) *Frozen {
 	nf.in = refreezeDir(&f.in, inRows, baseN, n2)
 	nf.edges = len(nf.out.targets)
 
-	// Tombstones: the base's plus the delta's.
+	// Tombstones: the base's plus the delta's. deadCount is recounted from
+	// the merged flags rather than summed (f.deadCount + len(d.dead) assumes
+	// the two sets never overlap); the count must equal the number of set
+	// flags exactly, because the nodes-by-label fill below and Compact's
+	// remap both size arrays from it — an overcount leaves phantom zero
+	// entries in label runs, an undercount panics the fill.
 	if f.dead != nil || len(d.dead) > 0 {
 		dead := make([]bool, n2)
 		copy(dead, f.dead)
 		for v := range d.dead {
 			dead[v] = true
 		}
+		count := 0
+		for _, dd := range dead {
+			if dd {
+				count++
+			}
+		}
 		nf.dead = dead
-		nf.deadCount = f.deadCount + len(d.dead)
+		nf.deadCount = count
 	}
 
 	// Nodes-by-label CSR over live nodes: one O(V) counting pass.

@@ -1,0 +1,82 @@
+package match_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+)
+
+// TestPersistMatchEquivalence is the persistence property at the matching
+// layer: a snapshot reloaded from its binary image enumerates exactly the
+// match sets of the original, and a compacted snapshot enumerates exactly
+// the original's match sets with every node ID translated through the remap.
+func TestPersistMatchEquivalence(t *testing.T) {
+	nodeLabels := []string{"a", "b", graph.Wildcard}
+	edgeLabels := []string{"e", "f", graph.Wildcard}
+	total, nonEmpty := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 70))
+		mirror := graph.New()
+		const n = 14
+		for i := 0; i < n; i++ {
+			mirror.AddNode(nodeLabels[rng.Intn(len(nodeLabels))])
+		}
+		for i := 0; i < 3*n; i++ {
+			mirror.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), edgeLabels[rng.Intn(len(edgeLabels))])
+		}
+		base := mirror.Frozen()
+		d := graph.NewDelta(base)
+		applyMirroredOps(rng, mirror, d, 2+rng.Intn(2*n), nodeLabels, edgeLabels)
+		for i := 0; i < 2; i++ { // guarantee tombstones for the compaction half
+			v := graph.NodeID(rng.Intn(mirror.NumNodes()))
+			if mirror.Alive(v) {
+				mirror.RemoveNode(v)
+				d.RemoveNode(v)
+			}
+		}
+		f := base.Refreeze(d)
+
+		var buf bytes.Buffer
+		if err := f.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("seed=%d: WriteSnapshot: %v", seed, err)
+		}
+		loaded, err := graph.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed=%d: ReadSnapshot: %v", seed, err)
+		}
+		compacted, remap := f.Compact()
+
+		for i := 0; i < 8; i++ {
+			p := randomPattern(rng, nodeLabels, edgeLabels)
+			ctx := fmt.Sprintf("seed=%d pattern#%d %s", seed, i, p)
+			want := matchSet(p, f, match.Options{})
+			diffSets(t, ctx+" (loaded vs original)", matchSet(p, loaded, match.Options{}), want)
+
+			var remapped []string
+			for _, h := range match.FindAll(p, f) {
+				hr := make(match.Assignment, len(h))
+				for j, v := range h {
+					if hr[j] = remap.Of(v); hr[j] == graph.InvalidNode {
+						t.Fatalf("%s: match %v binds dead node %d", ctx, h, v)
+					}
+				}
+				remapped = append(remapped, fmt.Sprint(hr))
+			}
+			sort.Strings(remapped)
+			diffSets(t, ctx+" (compacted vs remapped original)", matchSet(p, compacted, match.Options{}), remapped)
+
+			total++
+			if len(want) > 0 {
+				nonEmpty++
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatalf("all %d random instances had empty match sets; workload too sparse to be meaningful", total)
+	}
+}
