@@ -1,0 +1,13 @@
+// gfdlint is a nested module so its tooling dependencies never leak into
+// the root module's go.mod: the library stays importable with zero deps.
+//
+// The suite is deliberately stdlib-only: the driver, loader and analyzers
+// are built on go/ast + go/types + `go list -export` instead of
+// golang.org/x/tools, so the linter builds and runs in hermetic
+// (network-free) environments. If x/tools is ever vendored, each analyzer
+// maps 1:1 onto a golang.org/x/tools/go/analysis.Analyzer — the Pass API
+// in internal/lint mirrors it — and this go.mod is where the version gets
+// pinned.
+module repro/tools/gfdlint
+
+go 1.22

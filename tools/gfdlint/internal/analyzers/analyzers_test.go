@@ -1,0 +1,86 @@
+package analyzers_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/tools/gfdlint/internal/analyzers"
+	"repro/tools/gfdlint/internal/lint"
+	"repro/tools/gfdlint/internal/linttest"
+)
+
+const fixtureDir = "testdata/src"
+
+// withHotPkgs points HotAlloc at the fixture packages for one test.
+func withHotPkgs(t *testing.T, pkgs string) {
+	old := analyzers.HotPkgs
+	analyzers.HotPkgs = pkgs
+	t.Cleanup(func() { analyzers.HotPkgs = old })
+}
+
+func TestHotAlloc(t *testing.T) {
+	withHotPkgs(t, "*")
+	linttest.Run(t, fixtureDir, analyzers.HotAlloc, "hotalloc")
+}
+
+func TestMutatorErr(t *testing.T) {
+	linttest.Run(t, fixtureDir, analyzers.MutatorErr, "mutatorerr")
+}
+
+func TestOverlayStale(t *testing.T) {
+	linttest.Run(t, fixtureDir, analyzers.OverlayStale, "overlaystale")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, fixtureDir, analyzers.LockDiscipline, "lockdiscipline")
+}
+
+func TestCopyLock(t *testing.T) {
+	linttest.Run(t, fixtureDir, analyzers.CopyLock, "copylock")
+}
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, fixtureDir, analyzers.Shadow, "shadow")
+}
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, fixtureDir, analyzers.Nilness, "nilness")
+}
+
+// TestHotAllocFix applies the mechanical suggested fix for the plain-
+// reassignment shape and compares the rewrite against fix.go.golden.
+func TestHotAllocFix(t *testing.T) {
+	withHotPkgs(t, "*")
+	findings, fset := linttest.Run(t, fixtureDir, analyzers.HotAlloc, "hotallocfix")
+
+	var fixable []lint.Finding
+	for _, f := range findings {
+		if len(f.Diag.SuggestedFixes) > 0 {
+			fixable = append(fixable, f)
+		}
+	}
+	if len(fixable) != 1 {
+		t.Fatalf("want exactly 1 fixable finding (the plain-assign shape), got %d", len(fixable))
+	}
+	fixed, err := lint.ApplyFixes(fset, fixable, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("fix touched %d files, want 1", len(fixed))
+	}
+	golden, err := os.ReadFile(filepath.Join(fixtureDir, "hotallocfix", "fix.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range fixed {
+		if filepath.Base(name) != "fix.go" {
+			t.Fatalf("fix rewrote %s, want fix.go", name)
+		}
+		if !bytes.Equal(got, golden) {
+			t.Errorf("fixed output differs from fix.go.golden:\n%s", got)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// CopyLock extends vet's copylocks where vet stops: besides by-value
+// parameters, results and receivers of lock-bearing types, it flags
+// container and interface shapes that copy locks later even though the
+// declaration site looks innocent — `chan T` and `map[K]T` with a
+// lock-bearing element type (every send/load copies the lock), and boxing
+// a lock-bearing value into an interface (fmt.Println(mu) copies it).
+var CopyLock = &lint.Analyzer{
+	Name: "copylock",
+	Doc:  "flags lock-bearing values copied via parameters, results, channels, maps, or interface boxing",
+	Run:  runCopyLock,
+}
+
+func runCopyLock(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, s.Recv, s.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, s.Type)
+			case *ast.ChanType:
+				if path := lockPath(pass.Info.Types[s.Value].Type); path != "" {
+					pass.Reportf(s.Pos(), "channel of %s copies %s on every send and receive; use a pointer element type",
+						types.ExprString(s.Value), path)
+				}
+			case *ast.MapType:
+				if path := lockPath(pass.Info.Types[s.Value].Type); path != "" {
+					pass.Reportf(s.Pos(), "map with %s values copies %s on every load; use a pointer value type",
+						types.ExprString(s.Value), path)
+				}
+			case *ast.CallExpr:
+				checkBoxingArgs(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncSig(pass *lint.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if path := lockPath(t); path != "" {
+				pass.Reportf(field.Type.Pos(), "%s of type %s is passed by value and contains %s; use a pointer",
+					what, types.TypeString(t, types.RelativeTo(pass.Pkg)), path)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// checkBoxingArgs flags lock-bearing values passed where the parameter is
+// an interface: the conversion copies the value, lock included.
+func checkBoxingArgs(pass *lint.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		at := pass.Info.Types[arg].Type
+		if at == nil {
+			continue
+		}
+		path := lockPath(at)
+		if path == "" {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); isIface {
+			pass.Reportf(arg.Pos(), "passing %s boxes it into an interface, copying %s; pass a pointer",
+				types.TypeString(at, types.RelativeTo(pass.Pkg)), path)
+		}
+	}
+}
+
+// lockPath returns a human-readable path to a lock inside t ("" when t
+// carries none). Pointers never carry their pointee's locks.
+func lockPath(t types.Type) string {
+	return lockPathSeen(t, map[types.Type]bool{})
+}
+
+func lockPathSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockPathSeen(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPathSeen(u.Field(i).Type(), seen); p != "" {
+				return u.Field(i).Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPathSeen(u.Elem(), seen); p != "" {
+			return "[...]" + p
+		}
+	}
+	return ""
+}

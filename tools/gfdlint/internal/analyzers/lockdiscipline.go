@@ -1,0 +1,290 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// LockDiscipline enforces the locking rules the work-stealing executor
+// (core/parallel.go, cluster.Deque) relies on:
+//
+//   - sync.Cond.Wait must be called directly inside a for loop that
+//     re-checks the wait condition — an `if` guard misses spurious wakeups
+//     and the scan-then-sleep race the executor's seq handshake closes.
+//   - a sync.Mutex/RWMutex locked in a function must be released on every
+//     path: a `return` while the lock is held (and no defer-unlock is
+//     registered) is reported, as is falling off the end of the function
+//     and re-locking a held mutex (self-deadlock).
+//
+// The path check is a conservative per-block scan: branches that diverge
+// in lock state stop tracking (no report) rather than guess.
+var LockDiscipline = &lint.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flags cond.Wait outside a loop and locks not released on all paths",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		// Condvar rule, over the whole file.
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _, ok := syncMethod(pass.Info, call)
+			if !ok || fn.Name() != "Wait" || recvNamed(fn) != "Cond" {
+				return true
+			}
+			if !waitDirectlyInFor(stack) {
+				pass.Reportf(call.Pos(), "sync.Cond.Wait must run in a for loop re-checking its condition (spurious wakeups; see the executor's seq handshake in core/parallel.go)")
+			}
+			return true
+		})
+
+		// Lock-release rule, one function (or function literal) at a time.
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch fd := n.(type) {
+			case *ast.FuncDecl:
+				if fd.Body != nil {
+					checkLockPaths(pass, fd.Name.Name, fd.Body)
+				}
+			case *ast.FuncLit:
+				checkLockPaths(pass, "func literal", fd.Body)
+			}
+			return true
+		})
+	}
+}
+
+// waitDirectlyInFor reports whether the Wait call's nearest non-block
+// ancestor statement is a for loop.
+func waitDirectlyInFor(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ExprStmt, *ast.BlockStmt, *ast.LabeledStmt:
+			continue
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// lockState tracks, per lock key ("mu", "st.mu", ...), where it was
+// acquired. Keys in dead are no longer tracked (branch-divergent state).
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]bool
+	dead     map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}, dead: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	for k := range s.dead {
+		c.dead[k] = true
+	}
+	return c
+}
+
+func (s *lockState) sameHeld(o *lockState) bool {
+	if len(s.held) != len(o.held) {
+		return false
+	}
+	for k := range s.held {
+		if _, ok := o.held[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLockPaths(pass *lint.Pass, name string, body *ast.BlockStmt) {
+	st := newLockState()
+	walkLockStmts(pass, body.List, st)
+	for key, pos := range st.held {
+		if st.dead[key] || st.deferred[key] {
+			continue
+		}
+		// Intentional lock-helper shapes keep the lock on return.
+		if strings.Contains(strings.ToLower(name), "lock") {
+			continue
+		}
+		pass.Reportf(pos, "%s is still locked when %s returns; unlock on every path or defer the unlock", key, name)
+	}
+}
+
+// walkLockStmts interprets a statement list, updating st and reporting
+// returns that leave a tracked lock held. Nested function literals are
+// separate units and are skipped here (the FuncLit case of the outer walk
+// picks them up).
+func walkLockStmts(pass *lint.Pass, stmts []ast.Stmt, st *lockState) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, key, ok := syncMethod(pass.Info, call)
+			if !ok {
+				continue
+			}
+			switch fn.Name() {
+			case "Lock":
+				if pos, held := st.held[key]; held && !st.dead[key] {
+					pass.Reportf(call.Pos(), "%s is locked again while already held (locked at %s): self-deadlock", key, pass.Fset.Position(pos))
+				}
+				st.held[key] = call.Pos()
+			case "RLock":
+				// Read locks nest across goroutines but not within one
+				// holder; track release only.
+				st.held[key] = call.Pos()
+			case "Unlock", "RUnlock":
+				delete(st.held, key)
+			}
+		case *ast.DeferStmt:
+			markDeferredUnlocks(pass, s.Call, st)
+		case *ast.ReturnStmt:
+			reportHeldAt(pass, s.Pos(), st, "return")
+		case *ast.BranchStmt:
+			// break/continue/goto leave the block; treat like return for
+			// loops is too strict (the next iteration may unlock), so only
+			// goto out of a held region is ignored conservatively.
+		case *ast.BlockStmt:
+			walkLockStmts(pass, s.List, st)
+		case *ast.LabeledStmt:
+			walkLockStmts(pass, []ast.Stmt{s.Stmt}, st)
+		case *ast.IfStmt:
+			walkLockBranch(pass, s.Body.List, st)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				walkLockBranch(pass, e.List, st)
+			case *ast.IfStmt:
+				walkLockBranch(pass, []ast.Stmt{e}, st)
+			}
+		case *ast.ForStmt:
+			walkLockBranch(pass, s.Body.List, st)
+		case *ast.RangeStmt:
+			walkLockBranch(pass, s.Body.List, st)
+		case *ast.SwitchStmt:
+			walkCaseClauses(pass, s.Body, st)
+		case *ast.TypeSwitchStmt:
+			walkCaseClauses(pass, s.Body, st)
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkLockBranch(pass, cc.Body, st)
+				}
+			}
+		}
+	}
+}
+
+func walkCaseClauses(pass *lint.Pass, body *ast.BlockStmt, st *lockState) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			walkLockBranch(pass, cc.Body, st)
+		}
+	}
+}
+
+// walkLockBranch interprets a conditional branch: the branch body is
+// checked with a clone of the current state, and if the branch falls
+// through with a different set of held locks than it entered with, the
+// affected keys stop being tracked rather than guessed at.
+func walkLockBranch(pass *lint.Pass, stmts []ast.Stmt, st *lockState) {
+	c := st.clone()
+	walkLockStmts(pass, stmts, c)
+	for k := range c.deferred {
+		st.deferred[k] = true
+	}
+	if terminates(stmts) {
+		return // the branch never falls through; its lock state is moot
+	}
+	if !c.sameHeld(st) {
+		for k := range st.held {
+			if _, ok := c.held[k]; !ok {
+				st.dead[k] = true
+			}
+		}
+		for k := range c.held {
+			if _, ok := st.held[k]; !ok {
+				st.dead[k] = true
+				st.held[k] = c.held[k]
+			}
+		}
+	}
+	for k := range c.dead {
+		st.dead[k] = true
+	}
+}
+
+// terminates reports whether a statement list always diverges: ends in
+// return, branch, panic, or a *Fatal*/Exit call.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "panic" || strings.Contains(fun.Name, "Fatal") || strings.HasPrefix(fun.Name, "fatal")
+		case *ast.SelectorExpr:
+			n := fun.Sel.Name
+			return strings.Contains(n, "Fatal") || n == "Exit" || n == "Goexit"
+		}
+	}
+	return false
+}
+
+func reportHeldAt(pass *lint.Pass, pos token.Pos, st *lockState, what string) {
+	for key, lockPos := range st.held {
+		if st.dead[key] || st.deferred[key] {
+			continue
+		}
+		pass.Reportf(pos, "%s while %s is held (locked at %s); unlock before returning or defer the unlock",
+			what, key, pass.Fset.Position(lockPos))
+	}
+}
+
+// markDeferredUnlocks handles `defer mu.Unlock()` and `defer func() { ...
+// mu.Unlock() ... }()`.
+func markDeferredUnlocks(pass *lint.Pass, call *ast.CallExpr, st *lockState) {
+	if fn, key, ok := syncMethod(pass.Info, call); ok && (fn.Name() == "Unlock" || fn.Name() == "RUnlock") {
+		st.deferred[key] = true
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if fn, key, ok := syncMethod(pass.Info, c); ok && (fn.Name() == "Unlock" || fn.Name() == "RUnlock") {
+					st.deferred[key] = true
+				}
+			}
+			return true
+		})
+	}
+}

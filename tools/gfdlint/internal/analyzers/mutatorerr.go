@@ -1,0 +1,122 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// MutatorErr enforces the graph persistence error discipline introduced
+// with the WAL: errors returned by the graph and gfdio packages carry
+// durability state — WAL.Close/Flush/Sync report the sticky I/O error,
+// WriteSnapshot a torn image, Recover* a corrupt log — and silently
+// dropping one voids the crash-safety story. The analyzer flags any call
+// whose graph/gfdio error result is discarded: statement-position calls,
+// `_ =` and `x, _ :=` blank assignments, and `go`/`defer` statements.
+var MutatorErr = &lint.Analyzer{
+	Name: "mutatorerr",
+	Doc:  "flags dropped error returns from graph.Mutator/WAL/snapshot and gfdio APIs",
+	Run:  runMutatorErr,
+}
+
+func runMutatorErr(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "is dropped")
+				}
+			case *ast.GoStmt:
+				checkDroppedCall(pass, s.Call, "is dropped by the go statement")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, s.Call, "is dropped by the deferred call")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall flags a statement-position call that returns an error
+// from the guarded packages.
+func checkDroppedCall(pass *lint.Pass, call *ast.CallExpr, how string) {
+	fn := guardedErrFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s %s; graph/gfdio errors carry durability state and must be checked",
+		fnDisplay(fn), how)
+}
+
+// checkBlankAssign flags `_ = call` and `a, _, _ := call` shapes where a
+// blank identifier swallows a guarded error result.
+func checkBlankAssign(pass *lint.Pass, asg *ast.AssignStmt) {
+	if len(asg.Rhs) != 1 {
+		// a, b = x, y form: calls on the rhs are single-valued, and a
+		// single-valued guarded error assigned to _ is the len==1 case
+		// per position below.
+		for i, rhs := range asg.Rhs {
+			if i >= len(asg.Lhs) || !isBlank(asg.Lhs[i]) {
+				continue
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if fn := guardedErrFunc(pass, call); fn != nil {
+					pass.Reportf(asg.Lhs[i].Pos(), "error result of %s is discarded with _; check it", fnDisplay(fn))
+				}
+			}
+		}
+		return
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !declPkgMatches(fn, "graph", "gfdio") {
+		return
+	}
+	errIdx := errorResultIndexes(fn)
+	if len(errIdx) == 0 {
+		return
+	}
+	if len(asg.Lhs) == 1 {
+		// `_ = call`: the sole result (or result tuple) is swallowed.
+		if isBlank(asg.Lhs[0]) {
+			pass.Reportf(asg.Lhs[0].Pos(), "error result of %s is discarded with _; check it", fnDisplay(fn))
+		}
+		return
+	}
+	for _, i := range errIdx {
+		if i < len(asg.Lhs) && isBlank(asg.Lhs[i]) {
+			pass.Reportf(asg.Lhs[i].Pos(), "error result of %s is discarded with _; check it", fnDisplay(fn))
+		}
+	}
+}
+
+// guardedErrFunc resolves call to a graph/gfdio func with at least one
+// error result, nil otherwise.
+func guardedErrFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !declPkgMatches(fn, "graph", "gfdio") {
+		return nil
+	}
+	if len(errorResultIndexes(fn)) == 0 {
+		return nil
+	}
+	return fn
+}
+
+func fnDisplay(fn *types.Func) string {
+	if r := recvNamed(fn); r != "" {
+		return fn.Pkg().Name() + "." + r + "." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

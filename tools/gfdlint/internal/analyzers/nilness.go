@@ -1,0 +1,154 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// Nilness is a syntactic subset of the SSA-based x/tools nilness pass: it
+// flags dereferences of a variable inside the branch where a nil check
+// just proved it nil — `if x == nil { use(x.f) }` and the symmetric
+// `if x != nil { } else { use(x.f) }`. Dereference means pointer selector,
+// pointer indirection, slice index, or map write; reassigning the variable
+// inside the branch ends tracking.
+var Nilness = &lint.Analyzer{
+	Name: "nilness",
+	Doc:  "flags dereferences on the branch where a nil check proved the value nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			id, op := nilCheckedIdent(pass, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			switch op {
+			case token.EQL:
+				checkNilBranch(pass, id, ifs.Body)
+			case token.NEQ:
+				if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkNilBranch(pass, id, blk)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// nilCheckedIdent matches `x == nil` / `x != nil` (either side) where x is
+// an identifier of nilable type.
+func nilCheckedIdent(pass *lint.Pass, cond ast.Expr) (*ast.Ident, token.Token) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, token.ILLEGAL
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(pass, y) {
+		// fallthrough with x
+	} else if isNilIdent(pass, x) {
+		x = y
+	} else {
+		return nil, token.ILLEGAL
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, token.ILLEGAL
+	}
+	switch pass.Info.Types[id].Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return id, be.Op
+	}
+	return nil, token.ILLEGAL
+}
+
+func isNilIdent(pass *lint.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch flags dereferences of id's object inside body, stopping
+// at the first reassignment.
+func checkNilBranch(pass *lint.Pass, id *ast.Ident, body *ast.BlockStmt) {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	// First reassignment position, if any: derefs after it are fine.
+	limit := token.Pos(1 << 60)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if l, ok := lhs.(*ast.Ident); ok && identObj(pass.Info, l) == obj && asg.Pos() < limit {
+				limit = asg.Pos()
+			}
+		}
+		return true
+	})
+
+	sameVar := func(e ast.Expr) bool {
+		u, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[u] == obj && u.Pos() < limit
+	}
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s of %q, which the branch condition proved nil (checked at %s)",
+			what, id.Name, pass.Fset.Position(id.Pos()))
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.StarExpr:
+			if sameVar(e.X) {
+				report(e.Pos(), "indirection")
+			}
+		case *ast.SelectorExpr:
+			if !sameVar(e.X) {
+				return true
+			}
+			if _, isPtr := pass.Info.Types[e.X].Type.Underlying().(*types.Pointer); isPtr {
+				report(e.Pos(), "field or method access")
+			}
+		case *ast.IndexExpr:
+			if !sameVar(e.X) {
+				return true
+			}
+			switch pass.Info.Types[e.X].Type.Underlying().(type) {
+			case *types.Slice:
+				report(e.Pos(), "index")
+			}
+		}
+		return true
+	})
+
+	// Map writes: m[k] = v on a nil map panics (reads do not).
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok || !sameVar(ix.X) {
+				continue
+			}
+			if _, isMap := pass.Info.Types[ix.X].Type.Underlying().(*types.Map); isMap {
+				report(ix.Pos(), "map write")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// Shadow flags inner declarations that shadow a function-local variable
+// which is still used after the inner scope ends — the shape where a read
+// below the shadow silently sees the old value. The idiomatic guard forms
+// (`if v := f(); ...`, `for v := ...;`, `switch v := ...;`) are exempt:
+// their scopes are self-delimiting and the pattern is universal Go.
+var Shadow = &lint.Analyzer{
+	Name:          "shadow",
+	Doc:           "flags shadowed variables that are read again after the shadowing scope",
+	SkipTestFiles: true,
+	Run:           runShadow,
+}
+
+func runShadow(pass *lint.Pass) {
+	// Uses of each object, for the used-after check.
+	usesAfter := func(obj types.Object, pos token.Pos) bool {
+		for id, o := range pass.Info.Uses {
+			if o == obj && id.Pos() > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range pass.Files {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || asg.Tok != token.DEFINE {
+				return true
+			}
+			if isStmtInit(stack, asg) {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				inner := obj.Parent()
+				if inner == nil || inner.Parent() == nil {
+					continue
+				}
+				_, outer := inner.Parent().LookupParent(id.Name, obj.Pos())
+				if outer == nil || outer == obj {
+					continue
+				}
+				ov, ok := outer.(*types.Var)
+				if !ok || ov.IsField() {
+					continue
+				}
+				// Only function-local shadowing: package-level fallbacks
+				// are a different (noisier) class.
+				if ov.Parent() == pass.Pkg.Scope() || ov.Parent() == types.Universe {
+					continue
+				}
+				if usesAfter(outer, inner.End()) {
+					pass.Reportf(id.Pos(), "declaration of %q shadows the variable declared at %s, which is read again after this scope ends",
+						id.Name, pass.Fset.Position(outer.Pos()))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStmtInit reports whether asg is the init clause of an if/for/switch
+// statement (the idiomatic, exempt shadowing forms).
+func isStmtInit(stack []ast.Node, asg *ast.AssignStmt) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.IfStmt:
+		return p.Init == asg
+	case *ast.ForStmt:
+		return p.Init == asg
+	case *ast.SwitchStmt:
+		return p.Init == asg
+	case *ast.TypeSwitchStmt:
+		return p.Init == asg
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+// Fixtures for the copylock analyzer: lock-bearing values copied through
+// signatures, containers, and interface boxing.
+package copylock
+
+import (
+	"fmt"
+	"sync"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func byValueParam(g guarded) int { // want "parameter of type guarded is passed by value and contains mu.sync.Mutex"
+	return len(g.data)
+}
+
+func byValueResult() guarded { // want "result of type guarded is passed by value"
+	return guarded{}
+}
+
+func (g guarded) byValueReceiver() int { // want "receiver of type guarded is passed by value"
+	return len(g.data)
+}
+
+// Containers of lock-bearing element types copy the lock on every
+// send/receive/load even though the declaration looks innocent.
+var badChan chan guarded // want "channel of guarded copies mu.sync.Mutex on every send and receive"
+
+var badMap map[string]guarded // want "map with guarded values copies mu.sync.Mutex on every load"
+
+// Boxing a lock-bearing value into an interface copies it.
+func boxesIntoInterface(g *guarded) {
+	fmt.Println(g.mu) // want "boxes it into an interface"
+}
+
+// Pointers never copy the pointee's locks: all clean.
+func pointerParam(g *guarded) int { return len(g.data) }
+
+func pointerResult() *guarded { return &guarded{} }
+
+func (g *guarded) pointerReceiver() int { return len(g.data) }
+
+var okChan chan *guarded
+
+var okMap map[string]*guarded
+
+func printsPointer(g *guarded) {
+	fmt.Println(g)
+}

@@ -1,0 +1,7 @@
+// Fixture module for gfdlint's analyzer tests. It is a standalone module
+// (not in the repo workspace; tests load it with GOWORK=off) so fixtures
+// can reference a stub "graph" package whose import path ends in /graph,
+// which is how the contract analyzers recognise the real repro/internal/graph.
+module fixtures
+
+go 1.22

@@ -1,0 +1,57 @@
+// Fixtures for the hotalloc analyzer: per-iteration Reader copies in loop
+// bodies are flagged; copy-safe uses outside loops are not.
+package hotalloc
+
+import "fixtures/graph"
+
+func perIterationCopies(f *graph.Frozen, labels []string) int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		cands := f.CandidateNodes("person") // want "allocates a fresh copy every loop iteration"
+		total += len(cands)
+	}
+	for _, l := range labels {
+		total += len(f.NodesByLabel(l)) // want "allocates a fresh copy every loop iteration"
+	}
+	return total
+}
+
+// Closures defined in a loop body run per iteration; the copy still
+// happens once per iteration.
+func closureInLoop(f *graph.Frozen) {
+	var thunks []func() int
+	for i := 0; i < 3; i++ {
+		thunks = append(thunks, func() int {
+			return len(f.CandidateNodes("city")) // want "allocates a fresh copy every loop iteration"
+		})
+	}
+	for _, th := range thunks {
+		_ = th()
+	}
+}
+
+// The copy contract makes these single calls safe: the caller owns the
+// returned slice. No loop, no finding.
+func copySafeOutsideLoop(f *graph.Frozen) ([]graph.NodeID, []graph.NodeID) {
+	cands := f.CandidateNodes("person")
+	byLabel := f.NodesByLabel("city")
+	return cands, byLabel
+}
+
+// A call in the loop condition runs per iteration too, but the analyzer
+// only claims loop bodies; the condition shape is left to review.
+func callInLoopHeader(f *graph.Frozen) {
+	for i := 0; i < len(f.CandidateNodes("x")); i++ {
+		_ = i
+	}
+}
+
+// Retained per-iteration copies are the documented escape hatch.
+func retainedCopies(f *graph.Frozen, labels []string) [][]graph.NodeID {
+	var parts [][]graph.NodeID
+	for _, l := range labels {
+		//gfdlint:allow hotalloc -- each part is retained; the copy is the point
+		parts = append(parts, f.CandidateNodes(l))
+	}
+	return parts
+}

@@ -1,0 +1,92 @@
+// Fixtures for the lockdiscipline analyzer: cond.Wait outside a loop,
+// locks held across return, self-deadlock, and the clean shapes the
+// executor and Deque actually use.
+package lockdiscipline
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+// An if-guarded Wait misses spurious wakeups and the scan-then-sleep race.
+func (q *queue) takeIfGuarded() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		q.cond.Wait() // want "sync.Cond.Wait must run in a for loop"
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// The correct shape: Wait in a for loop re-checking the condition.
+func (q *queue) takeLooped() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+func (q *queue) returnsWhileHeld(flag bool) int {
+	q.mu.Lock()
+	if flag {
+		return 0 // want "return while q.mu is held"
+	}
+	q.mu.Unlock()
+	return 1
+}
+
+func (q *queue) doubleLock() {
+	q.mu.Lock()
+	q.mu.Lock() // want "locked again while already held"
+	q.mu.Unlock()
+}
+
+func (q *queue) neverReleased() {
+	q.mu.Lock() // want "q.mu is still locked when neverReleased returns"
+	q.items = nil
+}
+
+// Clean shapes: defer-unlock, branch unlock+return, deferred closure.
+func (q *queue) deferUnlock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, 1)
+}
+
+func (q *queue) branchUnlockAndReturn(flag bool) int {
+	q.mu.Lock()
+	if flag {
+		q.mu.Unlock()
+		return 0
+	}
+	n := len(q.items)
+	q.mu.Unlock()
+	return n
+}
+
+func (q *queue) deferredClosureUnlock() {
+	q.mu.Lock()
+	defer func() {
+		q.items = nil
+		q.mu.Unlock()
+	}()
+	q.items = append(q.items, 2)
+}
+
+// Functions whose name says "lock" intentionally return holding the lock.
+func (q *queue) lockAll() {
+	q.mu.Lock()
+}
+
+func (q *queue) unlockAll() {
+	q.mu.Unlock()
+}

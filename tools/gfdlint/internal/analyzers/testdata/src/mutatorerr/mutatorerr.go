@@ -1,0 +1,62 @@
+// Fixtures for the mutatorerr analyzer: dropped error returns from the
+// graph persistence APIs are flagged; checked errors and non-guarded
+// packages are not.
+package mutatorerr
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"fixtures/graph"
+)
+
+func droppedStatements(w *graph.WAL, f *graph.Frozen, buf *bytes.Buffer) {
+	w.Flush()            // want "error result of graph.WAL.Flush is dropped"
+	w.Close()            // want "error result of graph.WAL.Close is dropped"
+	f.WriteSnapshot(buf) // want "error result of graph.Frozen.WriteSnapshot is dropped"
+}
+
+func blankAssigns(w *graph.WAL, base *graph.Frozen, buf *bytes.Buffer) *graph.Delta {
+	_ = w.Err() // want "error result of graph.WAL.Err is discarded with _"
+
+	d, _, _ := graph.Recover(base, buf) // want "error result of graph.Recover is discarded with _"
+
+	// Parallel assignment with a guarded call on the rhs.
+	var n int
+	n, _ = 1, w.Sync() // want "error result of graph.WAL.Sync is discarded with _"
+	_ = n
+	return d
+}
+
+func goAndDefer(w *graph.WAL) {
+	go w.Flush()    // want "error result of graph.WAL.Flush is dropped by the go statement"
+	defer w.Close() // want "error result of graph.WAL.Close is dropped by the deferred call"
+}
+
+// Checked errors are the contract being enforced; none of these flag.
+func checkedErrors(base *graph.Frozen, buf *bytes.Buffer) error {
+	w, err := graph.OpenWAL("wal.log", graph.NewDelta(base))
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if _, _, err := graph.Recover(base, buf); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Only graph/gfdio errors are guarded: dropping errors from other packages
+// is left to general-purpose tools.
+func otherPackagesNotGuarded(f *os.File) {
+	fmt.Fprintln(os.Stdout, "x")
+	f.Close()
+}
+
+// Error-free graph calls in statement position are fine.
+func noErrorResult(d *graph.Delta) {
+	d.AddEdge(1, 2, "knows")
+}

@@ -1,0 +1,60 @@
+// Fixtures for the nilness analyzer: dereferences on the branch where a
+// nil check just proved the value nil.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefInNilBranch(p *node) int {
+	if p == nil {
+		return p.val // want "field or method access of .p., which the branch condition proved nil"
+	}
+	return p.val
+}
+
+func indirectionInNilBranch(p *node) node {
+	if nil == p {
+		return *p // want "indirection of .p., which the branch condition proved nil"
+	}
+	return *p
+}
+
+func indexInNilBranch(s []int) int {
+	if s == nil {
+		return s[0] // want "index of .s., which the branch condition proved nil"
+	}
+	return s[0]
+}
+
+func mapWriteInNilBranch(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want "map write of .m., which the branch condition proved nil"
+	}
+}
+
+func derefInElseOfNotNil(p *node) int {
+	if p != nil {
+		return p.val
+	} else {
+		return p.val // want "field or method access of .p., which the branch condition proved nil"
+	}
+}
+
+// Reassigning inside the branch ends tracking: clean.
+func reassignedBeforeDeref(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val
+	}
+	return p.val
+}
+
+// Map reads on a nil map are defined; only writes panic.
+func mapReadIsFine(m map[string]int) int {
+	if m == nil {
+		return m["k"]
+	}
+	return m["k"]
+}

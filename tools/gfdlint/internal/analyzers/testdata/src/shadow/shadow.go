@@ -1,0 +1,55 @@
+// Fixtures for the shadow analyzer: inner := declarations that shadow a
+// function-local variable read again after the inner scope ends.
+package shadow
+
+func fetch() (int, error)        { return 1, nil }
+func compute(n int) (int, error) { return n, nil }
+func process(n int)              {}
+
+func reusedAfterShadow(vals []int) int {
+	total := 0
+	limit := 10
+	if len(vals) > 0 {
+		limit := len(vals) // want "shadows the variable declared at"
+		total += limit
+	}
+	return total + limit
+}
+
+// The classic err shadow: the outer err returned below silently misses the
+// inner failure.
+func errShadow() error {
+	data, err := fetch()
+	if data > 0 {
+		result, err := compute(data) // want "shadows the variable declared at"
+		process(result)
+		process(len(errString(err)))
+	}
+	return err
+}
+
+func errString(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// The idiomatic guard forms are self-delimiting and exempt.
+func guardFormExempt(m map[string]int) int {
+	v := 1
+	if v, ok := m["k"]; ok {
+		return v
+	}
+	return v
+}
+
+// Shadowing is harmless when the outer variable is never read afterwards.
+func deadAfterScope(vals []int) {
+	n := len(vals)
+	process(n)
+	{
+		n := 0
+		process(n)
+	}
+}

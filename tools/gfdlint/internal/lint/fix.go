@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix in findings to the file contents
+// they touch and returns the rewritten files keyed by filename. Sources are
+// read through readFile (os.ReadFile when nil, overridable for tests).
+// Overlapping edits are an error: mechanical fixes must not race each other.
+func ApplyFixes(fset *token.FileSet, findings []Finding, readFile func(string) ([]byte, error)) (map[string][]byte, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		for _, fix := range f.Diag.SuggestedFixes {
+			for _, e := range fix.Edits {
+				start := fset.Position(e.Pos)
+				end := fset.Position(e.End)
+				if start.Filename != end.Filename {
+					return nil, fmt.Errorf("%s: fix for %s spans files", start.Filename, f.Analyzer.Name)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, e.NewText})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for name, edits := range perFile {
+		src, err := readFile(name)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var buf []byte
+		prev := 0
+		for _, e := range edits {
+			if e.start < prev {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes", name)
+			}
+			buf = append(buf, src[prev:e.start]...)
+			buf = append(buf, e.text...)
+			prev = e.end
+		}
+		buf = append(buf, src[prev:]...)
+		out[name] = buf
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+// Package lint is a minimal, dependency-free go/analysis look-alike: an
+// Analyzer runs over one typechecked package (a Pass) and reports
+// position-anchored Diagnostics, optionally carrying mechanical
+// SuggestedFixes. The shapes mirror golang.org/x/tools/go/analysis on
+// purpose — if that module is ever vendored, each Analyzer ports by
+// renaming imports — but the implementation is stdlib-only so gfdlint
+// builds in hermetic environments.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run is invoked once per analyzed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// SkipTestFiles drops diagnostics whose position falls in a _test.go
+	// file. Checks that guard performance contracts (hot-path allocation)
+	// skip tests; checks that guard correctness contracts (dropped
+	// durability errors, stale overlays, lock discipline) do not.
+	SkipTestFiles bool
+
+	Run func(*Pass)
+}
+
+// Pass carries one typechecked package through an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report reports a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos // optional
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is a mechanical rewrite the driver can apply under -fix.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// Finding is a Diagnostic tagged with the Analyzer that produced it.
+type Finding struct {
+	Analyzer *Analyzer
+	Diag     Diagnostic
+}
+
+// Position resolves the finding's primary position.
+func (f Finding) Position(fset *token.FileSet) token.Position {
+	return fset.Position(f.Diag.Pos)
+}
+
+// RunAnalyzers runs every analyzer over the pass's package and returns the
+// surviving findings: suppressed ones (see ParseAllowDirectives) and — for
+// analyzers with SkipTestFiles — ones landing in _test.go files are
+// filtered here so every driver (CLI, fixture tests) sees the same set.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Finding {
+	allow := ParseAllowDirectives(fset, files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		pass.report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if a.SkipTestFiles && strings.HasSuffix(pos.Filename, "_test.go") {
+				return
+			}
+			if allow.Allows(a.Name, pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: a, Diag: d})
+		}
+		a.Run(pass)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := out[i].Diag.Pos, out[j].Diag.Pos
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].Analyzer.Name < out[j].Analyzer.Name
+	})
+	return out
+}
+
+// AllowSet records //gfdlint:allow suppressions per file line.
+type AllowSet map[string]map[int][]string // filename -> line -> analyzer names ("*" = all)
+
+// ParseAllowDirectives scans file comments for suppression directives of
+// the form
+//
+//	//gfdlint:allow name1,name2 -- reason
+//
+// A directive suppresses matching diagnostics reported on its own line
+// (trailing comment) or on the line directly below (standalone comment).
+func ParseAllowDirectives(fset *token.FileSet, files []*ast.File) AllowSet {
+	set := AllowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//gfdlint:allow")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				if i := strings.Index(text, "--"); i >= 0 {
+					text = strings.TrimSpace(text[:i])
+				}
+				names := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' })
+				if len(names) == 0 {
+					names = []string{"*"}
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				// Trailing directives cover their own line; standalone
+				// directives cover the next line. Covering both is
+				// harmless and keeps the parser position-free.
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return set
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed.
+func (s AllowSet) Allows(name string, pos token.Position) bool {
+	for _, n := range s[pos.Filename][pos.Line] {
+		if n == "*" || n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// WalkStack walks the AST rooted at n, invoking fn with each node and the
+// stack of its ancestors (outermost first, not including the node itself).
+// If fn returns false the node's children are skipped.
+func WalkStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		stack = append(stack, n)
+		if !ok {
+			// Children are skipped, so Inspect will not deliver the nil
+			// pop for this node; pop it now.
+			stack = stack[:len(stack)-1]
+		}
+		return ok
+	})
+}

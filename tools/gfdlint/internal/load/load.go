@@ -1,0 +1,237 @@
+// Package load typechecks Go packages without golang.org/x/tools: it shells
+// out to `go list -deps -export -json` for the build graph, imports
+// dependencies from their compiler export data (via go/importer's gc
+// support, which understands build-cache export files), and typechecks only
+// the target packages from source. With Tests set, `go list -test` variants
+// are loaded so _test.go files are analyzed too: the in-package test
+// variant replaces the plain package (its file set is a superset) and
+// external _test packages are typechecked against the source-checked
+// variant, so export_test.go helpers resolve.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one typechecked target package.
+type Package struct {
+	PkgPath string // clean import path (test variants report the plain path)
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	IsTest  bool // in-package test variant or external _test package
+}
+
+// Config controls a Load.
+type Config struct {
+	Dir   string   // directory to run `go list` in ("" = cwd)
+	Env   []string // extra environment entries, e.g. "GOWORK=off"
+	Tests bool     // load -test variants and analyze _test.go files
+}
+
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	ForTest      string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	ImportMap    map[string]string
+	Error        *struct{ Err string }
+}
+
+type loader struct {
+	cfg   Config
+	fset  *token.FileSet
+	index map[string]*listPkg
+	gcImp types.ImporterFrom
+	src   map[string]*types.Package // source-typechecked, by raw ImportPath
+	memo  map[string]*Package
+}
+
+// Load lists patterns and returns the typechecked target packages.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-deps", "-export", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	ld := &loader{
+		cfg:   cfg,
+		fset:  token.NewFileSet(),
+		index: map[string]*listPkg{},
+		src:   map[string]*types.Package{},
+		memo:  map[string]*Package{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var order []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		ld.index[lp.ImportPath] = lp
+		order = append(order, lp)
+	}
+	ld.gcImp = importer.ForCompiler(ld.fset, "gc", ld.lookupExport).(types.ImporterFrom)
+
+	// The in-package test variant "p [p.test]" subsumes the plain p; when
+	// both are targets, analyze only the variant.
+	covered := map[string]bool{}
+	for _, lp := range order {
+		if lp.ForTest != "" && !lp.DepOnly && lp.ImportPath == lp.ForTest+" ["+lp.ForTest+".test]" {
+			covered[lp.ForTest] = true
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range order {
+		if lp.DepOnly || lp.Standard || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if lp.ForTest == "" && covered[lp.ImportPath] {
+			continue
+		}
+		p, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookupExport feeds the gc importer the export-data file `go list -export`
+// recorded for the path.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	lp := ld.index[path]
+	if lp == nil || lp.Export == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(lp.Export)
+}
+
+// check typechecks lp from source (memoized).
+func (ld *loader) check(lp *listPkg) (*Package, error) {
+	if p, ok := ld.memo[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkgPath := lp.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer: &pkgImporter{ld: ld, lp: lp},
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, joinErrs(softErrs, err))
+	}
+	ld.src[lp.ImportPath] = tpkg
+	p := &Package{
+		PkgPath: pkgPath,
+		Fset:    ld.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		IsTest:  lp.ForTest != "",
+	}
+	ld.memo[lp.ImportPath] = p
+	return p, nil
+}
+
+func joinErrs(soft []error, first error) error {
+	if len(soft) <= 1 {
+		return first
+	}
+	msgs := make([]string, len(soft))
+	for i, e := range soft {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "\n\t"))
+}
+
+// pkgImporter resolves one package's imports: through its ImportMap (which
+// remaps test-variant imports), then from already source-checked packages,
+// then source-checking export-less variants, and finally from gc export
+// data.
+type pkgImporter struct {
+	ld *loader
+	lp *listPkg
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	actual := path
+	if m, ok := pi.lp.ImportMap[path]; ok {
+		actual = m
+	}
+	if p, ok := pi.ld.src[actual]; ok {
+		return p, nil
+	}
+	if lp := pi.ld.index[actual]; lp != nil && lp.Export == "" {
+		p, err := pi.ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return pi.ld.gcImp.Import(actual)
+}

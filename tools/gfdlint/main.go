@@ -1,0 +1,131 @@
+// Command gfdlint is the project's static-analysis gate: a multichecker of
+// project-specific analyzers that mechanically enforce the Reader/Mutator/
+// Overlay contracts DESIGN.md states in prose, plus bundled general-purpose
+// passes (copylock-beyond-vet, shadow, nilness subsets). Stdlib-only by
+// design — see go.mod — so it runs in hermetic environments:
+//
+//	go run ./tools/gfdlint ./...                    # lint the root module
+//	go run ./tools/gfdlint repro/tools/gfdlint/...  # lint the linter
+//	go run ./tools/gfdlint -fix ./...               # apply mechanical fixes
+//
+// Suppress a finding with a trailing or preceding comment:
+//
+//	//gfdlint:allow hotalloc -- each part is retained, the copy is the point
+//
+// Exit status: 0 clean, 1 findings remain, 2 usage/load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/tools/gfdlint/internal/analyzers"
+	"repro/tools/gfdlint/internal/lint"
+	"repro/tools/gfdlint/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		fix     = flag.Bool("fix", false, "apply mechanical suggested fixes to the source files")
+		tests   = flag.Bool("tests", true, "also analyze _test.go files")
+		disable = flag.String("disable", "", "comma-separated analyzer names to skip")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.StringVar(&analyzers.HotPkgs, "hotalloc.pkgs", analyzers.HotPkgs,
+		"package path suffixes hotalloc applies to (\"*\" = all)")
+	flag.Parse()
+
+	all := analyzers.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	skip := map[string]bool{}
+	for _, n := range strings.Split(*disable, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			skip[n] = true
+		}
+	}
+	var enabled []*lint.Analyzer
+	for _, a := range all {
+		if !skip[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(load.Config{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfdlint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "gfdlint: no packages matched")
+		return 2
+	}
+
+	fset := pkgs[0].Fset
+	var findings []lint.Finding
+	for _, p := range pkgs {
+		findings = append(findings, lint.RunAnalyzers(p.Fset, p.Files, p.Types, p.Info, enabled)...)
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+
+	if *fix {
+		var fixable, rest []lint.Finding
+		for _, f := range findings {
+			if len(f.Diag.SuggestedFixes) > 0 {
+				fixable = append(fixable, f)
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		files, err := lint.ApplyFixes(fset, fixable, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfdlint: -fix:", err)
+			return 2
+		}
+		for name, content := range files {
+			if err := os.WriteFile(name, content, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "gfdlint: -fix:", err)
+				return 2
+			}
+			fmt.Printf("fixed: %s\n", name)
+		}
+		findings = rest
+		if len(findings) == 0 {
+			return 0
+		}
+	}
+
+	printFindings(fset, findings)
+	fmt.Fprintf(os.Stderr, "gfdlint: %d finding(s)\n", len(findings))
+	return 1
+}
+
+func printFindings(fset *token.FileSet, findings []lint.Finding) {
+	for _, f := range findings {
+		fmt.Printf("%s: %s [%s]\n", f.Position(fset), f.Diag.Message, f.Analyzer.Name)
+		for _, sf := range f.Diag.SuggestedFixes {
+			fmt.Printf("\tsuggested fix (-fix applies it): %s", sf.Message)
+			for _, e := range sf.Edits {
+				fmt.Printf(" → %s", e.NewText)
+			}
+			fmt.Println()
+		}
+	}
+}
