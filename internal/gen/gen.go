@@ -651,8 +651,17 @@ func (g *Generator) MutateDelta(d graph.Mutator, n int) {
 		}
 		return 0, false
 	}
+	// Per-label candidate cache: CandidateNodes copies the label run on
+	// every call (graph.Reader copy contract) and aliveTarget runs per op.
+	// The base snapshot is immutable while the delta absorbs the updates,
+	// so one copy per label serves the whole stream.
+	candCache := map[string][]graph.NodeID{}
 	aliveTarget := func(label string) (graph.NodeID, bool) {
-		targets := base.CandidateNodes(label)
+		targets, ok := candCache[label]
+		if !ok {
+			targets = base.CandidateNodes(label)
+			candCache[label] = targets
+		}
 		for try := 0; try < 8 && len(targets) > 0; try++ {
 			t := targets[g.rng.Intn(len(targets))]
 			if d.Alive(t) {

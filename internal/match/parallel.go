@@ -40,10 +40,24 @@ func shardParts(p *pattern.Pattern, sv graph.ShardedView, opts Options) [][]grap
 		// recoverable, fall back to a single global part.
 		return [][]graph.NodeID{sv.CandidateNodes(label)}
 	}
+	// One exact-size buffer backs every part: per-shard LabelFrequency is
+	// an exact owned-live count, so the full-capacity sub-slices cannot
+	// grow into a neighbouring part and the per-shard copies collapse into
+	// a single allocation.
+	total := 0
+	for i := 0; i < s.ShardCount(); i++ {
+		total += s.Shard(i).LabelFrequency(label)
+	}
+	if total == 0 {
+		return nil
+	}
+	buf := make([]graph.NodeID, 0, total)
 	var parts [][]graph.NodeID
 	for i := 0; i < s.ShardCount(); i++ {
-		if part := s.Shard(i).CandidateNodes(label); len(part) > 0 {
-			parts = append(parts, part)
+		start := len(buf)
+		buf = s.Shard(i).AppendCandidates(buf, label)
+		if len(buf) > start {
+			parts = append(parts, buf[start:len(buf):len(buf)])
 		}
 	}
 	return parts
