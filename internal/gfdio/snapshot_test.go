@@ -58,10 +58,11 @@ func TestReadAnyGraph(t *testing.T) {
 	if a.String() != b.String() {
 		t.Fatalf("text renderings diverge:\n%s\nvs\n%s", a.String(), b.String())
 	}
-	if _, err := ReadAnyGraph(strings.NewReader("")); err != nil {
+	empty, err := ReadAnyGraph(strings.NewReader(""))
+	if err != nil {
 		t.Fatalf("empty input should parse as an empty text graph: %v", err)
 	}
-	if f, _ := ReadAnyGraph(strings.NewReader("")); f.NumNodes() != 0 {
+	if empty.NumNodes() != 0 {
 		t.Error("empty input produced nodes")
 	}
 }

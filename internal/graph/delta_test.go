@@ -323,6 +323,7 @@ func TestDeltaSemantics(t *testing.T) {
 	mustPanic("stale overlay", func() {
 		o2 := d.Overlay()
 		d.AddNode("a")
+		//gfdlint:allow overlaystale -- this read exercises the staleness panic on purpose
 		o2.OutByLabel(x, "e")
 	})
 	mustPanic("foreign base", func() { NewBuilder(0).Freeze().Refreeze(d) })

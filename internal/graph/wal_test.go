@@ -176,7 +176,10 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 		}
 		// Replaying the same prefix through Recover a second time must agree
 		// with the first (prefix recovery is deterministic).
-		d2, _, _ := Recover(base, bytes.NewReader(log[:cut]))
+		d2, _, err := Recover(base, bytes.NewReader(log[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: second prefix recovery failed: %v", cut, err)
+		}
 		if d.String() != d2.String() || d.Len() != d2.Len() {
 			t.Fatalf("cut=%d: prefix recovery not deterministic", cut)
 		}
@@ -309,7 +312,9 @@ func FuzzWALRecover(f *testing.F) {
 		for _, op := range walFixtureOps() {
 			op(w)
 		}
-		w.Close()
+		if err := w.Close(); err != nil {
+			f.Fatalf("building seed log: %v", err)
+		}
 		return buf.Bytes(), d
 	}()
 	f.Add(log)
