@@ -213,9 +213,9 @@ func Persist(cfg Config) *Report {
 	})
 	var recovered int
 	recT := minTime(shortReps, func() {
-		_, stats, err := graph.Recover(wbase, bytes.NewReader(log.Bytes()))
-		if err != nil {
-			panic(err)
+		_, stats, rerr := graph.Recover(wbase, bytes.NewReader(log.Bytes()))
+		if rerr != nil {
+			panic(rerr)
 		}
 		recovered = stats.Records
 	})

@@ -249,9 +249,9 @@ func parseLiteral(pat *pattern.Pattern, s string) (gfd.Literal, error) {
 		return gfd.Literal{}, err
 	}
 	if strings.HasPrefix(rhs, "\"") {
-		c, err := strconv.Unquote(rhs)
-		if err != nil {
-			return gfd.Literal{}, fmt.Errorf("bad constant %q: %v", rhs, err)
+		c, uerr := strconv.Unquote(rhs)
+		if uerr != nil {
+			return gfd.Literal{}, fmt.Errorf("bad constant %q: %v", rhs, uerr)
 		}
 		return gfd.Const(x, a, c), nil
 	}
