@@ -28,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -74,7 +75,7 @@ func run() int {
 	if *only != "" {
 		runner := bench.ByName(*only)
 		if runner == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", *only, strings.Join(bench.Names(), ", "))
 			return 2
 		}
 		fmt.Print(runner(cfg).Format())

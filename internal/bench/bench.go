@@ -702,8 +702,57 @@ func Incremental(cfg Config) *Report {
 	return r
 }
 
+// Adaptive reports the two comparisons the adaptive matching layer claims,
+// at report scale: the kernel picker (gallop/bitset/merge per frame) against
+// the merge-only ablation on the skewed hub triangle, and the warm
+// compiled-plan cache against per-query planning on the repeated-query
+// workload. The CI gate tracks the same two ratios (match_adaptive_speedup,
+// plan_cache_speedup) on the same workloads.
+func Adaptive(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	r := &Report{
+		Name:   "Adaptive",
+		Title:  "adaptive intersection kernels and compiled plan cache",
+		Header: []string{"comparison", "baseline ms", "adaptive ms", "speedup", "matches"},
+	}
+	ratio := func(a, b time.Duration) string {
+		if b == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+	}
+	reps := 4*cfg.Reps + 3
+
+	af, ap := AdaptiveWorkload(cfg.Seed)
+	count := match.NewSearch(ap, af, match.Options{}).CountAll()
+	adaptiveT := minTime(reps, func() { match.NewSearch(ap, af, match.Options{}).CountAll() })
+	mergeT := minTime(cfg.Reps, func() { match.NewSearch(ap, af, match.Options{MergeOnly: true}).CountAll() })
+	r.Rows = append(r.Rows, []string{
+		"kernels (merge-only vs adaptive)", ms(mergeT), ms(adaptiveT), ratio(mergeT, adaptiveT),
+		fmt.Sprintf("%d", count),
+	})
+
+	pf, pps, err := PlanWorkload(cfg.Seed)
+	if err != nil {
+		r.Notes = append(r.Notes, fmt.Sprintf("plan row skipped: %v", err))
+		return r
+	}
+	cache := match.NewPlanCache()
+	planCount := PlanQueries(pf, pps, cache) // warms the cache
+	coldT := minTime(cfg.Reps, func() { PlanQueries(pf, pps, nil) })
+	warmT := minTime(reps, func() { PlanQueries(pf, pps, cache) })
+	r.Rows = append(r.Rows, []string{
+		fmt.Sprintf("plans (cold vs warm cache, %d queries)", len(pps)), ms(coldT), ms(warmT), ratio(coldT, warmT),
+		fmt.Sprintf("%d", planCount),
+	})
+	r.Notes = append(r.Notes,
+		"kernels row: same triangle enumeration with the gallop/bitset paths disabled vs the per-frame picker",
+		"plans row: per-query planning vs PlanCache.Get per query against a warm cache (probe cost included)")
+	return r
+}
+
 // All runs every experiment in paper order, then the repo's own index,
-// sharding, incremental and persistence experiments.
+// sharding, adaptive-kernel, incremental and persistence experiments.
 func All(cfg Config) []*Report {
 	return []*Report{
 		Fig5(cfg),
@@ -713,19 +762,34 @@ func All(cfg Config) []*Report {
 		Fig6k(cfg), Fig6l(cfg),
 		MatchIndex(cfg),
 		Sharded(cfg),
+		Adaptive(cfg),
 		Incremental(cfg),
 		Persist(cfg),
 	}
 }
 
-// ByName returns the named experiment runner, or nil.
+// experiments is the runner registry; ByName lookups and the Names listing
+// that cmd/benchall prints for an unknown -only value both read it.
+var experiments = map[string]func(Config) *Report{
+	"fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b, "fig6c": Fig6c,
+	"fig6d": Fig6d, "fig6e": Fig6e, "fig6f": Fig6f, "fig6g": Fig6g,
+	"fig6h": Fig6h, "fig6i": Fig6i, "fig6j": Fig6j, "fig6k": Fig6k,
+	"fig6l": Fig6l, "matchindex": MatchIndex, "sharded": Sharded,
+	"adaptive": Adaptive, "incremental": Incremental, "persist": Persist,
+}
+
+// ByName returns the named experiment runner (case-insensitive), or nil.
 func ByName(name string) func(Config) *Report {
-	m := map[string]func(Config) *Report{
-		"fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b, "fig6c": Fig6c,
-		"fig6d": Fig6d, "fig6e": Fig6e, "fig6f": Fig6f, "fig6g": Fig6g,
-		"fig6h": Fig6h, "fig6i": Fig6i, "fig6j": Fig6j, "fig6k": Fig6k,
-		"fig6l": Fig6l, "matchindex": MatchIndex, "sharded": Sharded,
-		"incremental": Incremental, "persist": Persist,
+	return experiments[strings.ToLower(name)]
+}
+
+// Names returns every registered experiment name, sorted, for -only
+// validation messages and usage text.
+func Names() []string {
+	out := make([]string, 0, len(experiments))
+	for n := range experiments {
+		out = append(out, n)
 	}
-	return m[strings.ToLower(name)]
+	sort.Strings(out)
+	return out
 }

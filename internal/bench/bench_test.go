@@ -28,13 +28,43 @@ func TestReportFormatAligned(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"fig5", "Fig6a", "FIG6L"} {
+	for _, name := range []string{"fig5", "Fig6a", "FIG6L", "adaptive"} {
 		if ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil", name)
 		}
 	}
 	if ByName("fig7") != nil {
 		t.Error("unknown name resolved")
+	}
+}
+
+// TestNames pins the contract the benchall -only error message relies on:
+// every registered name is listed, sorted, and resolvable back through
+// ByName.
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != len(experiments) {
+		t.Fatalf("Names() lists %d experiments, registry has %d", len(names), len(experiments))
+	}
+	for i, n := range names {
+		if ByName(n) == nil {
+			t.Errorf("Names() entry %q does not resolve", n)
+		}
+		if i > 0 && names[i-1] >= n {
+			t.Errorf("Names() not sorted: %q before %q", names[i-1], n)
+		}
+	}
+}
+
+// TestAdaptiveReportAtMicroScale smoke-runs the adaptive experiment: both
+// comparison rows present, nonzero match counts on the kernels row.
+func TestAdaptiveReportAtMicroScale(t *testing.T) {
+	r := Adaptive(micro())
+	if len(r.Rows) != 2 {
+		t.Fatalf("Adaptive rows = %d, want kernels + plans:\n%s", len(r.Rows), r.Format())
+	}
+	if r.Rows[0][4] == "0" {
+		t.Fatalf("kernels row found no matches:\n%s", r.Format())
 	}
 }
 

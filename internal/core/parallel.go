@@ -52,6 +52,15 @@ type ParOptions struct {
 	// seeded through the per-node degree/label signature, so both the seq
 	// and parallel variants pick the indexed path up transparently.
 	Simulation bool
+	// Plans, when non-nil, is the compiled-plan cache the run resolves each
+	// GFD pattern through: pivot selection, variable orders and label
+	// resolution are computed once per (pattern, snapshot epoch) and reused
+	// across runs against the same snapshot. A nil cache still compiles one
+	// plan per GFD per run (shared by all of that GFD's work units); the
+	// cache only adds cross-run reuse, which requires an epoch-carrying
+	// snapshot reader (mutable canonical graphs are planned per run either
+	// way).
+	Plans *match.PlanCache
 	// unitDepCap bounds the number of units for which the quadratic
 	// unit-level dependency graph is built; beyond it the coarser GFD-level
 	// topological order ranks units. 0 means the default.
@@ -129,6 +138,7 @@ type parEngine struct {
 	sims     []*match.Sim
 	pivotVar []pattern.Var
 	orders   [][]pattern.Var
+	plans    []*match.Plan
 	units    []unit
 	ranks    []int
 
@@ -249,6 +259,7 @@ func (e *parEngine) buildUnits() {
 	e.sims = make([]*match.Sim, n)
 	e.pivotVar = make([]pattern.Var, n)
 	e.orders = make([][]pattern.Var, n)
+	e.plans = make([]*match.Plan, n)
 	// The simulation pre-filter is per-GFD independent; computing it
 	// serially would be a p-independent startup phase capping the speedup
 	// (Amdahl), so it is spread over the same p workers.
@@ -284,7 +295,17 @@ func (e *parEngine) buildUnits() {
 		if e.opt.Simulation && simFailed[i] {
 			continue // no match anywhere: no units
 		}
-		pivots := p.Pivot(e.g)
+		// Plan the GFD once: pivots, per-pivot orders and resolved label IDs
+		// are shared by every work unit (and, through an epoch-checked
+		// Options.Plans cache, by later runs against the same snapshot).
+		var plan *match.Plan
+		if e.opt.Plans != nil {
+			plan = e.opt.Plans.Get(p, e.g)
+		} else {
+			plan = match.CompilePlan(p, e.g)
+		}
+		e.plans[i] = plan
+		pivots := plan.Pivots()
 		best := pivots[0]
 		bestSize := e.candCount(i, best)
 		for _, pv := range pivots[1:] {
@@ -294,18 +315,9 @@ func (e *parEngine) buildUnits() {
 		}
 		e.pivotVar[i] = best
 		// Variable order: the pivot's component first (starting at the
-		// pivot), then remaining components.
-		order := p.MatchOrder(best)
-		seen := make(map[pattern.Var]bool, len(order))
-		for _, v := range order {
-			seen[v] = true
-		}
-		for _, comp := range p.Components() {
-			if !seen[comp[0]] {
-				order = append(order, p.MatchOrder(comp[0])...)
-			}
-		}
-		e.orders[i] = order
+		// pivot), then remaining components (precomputed per pivot on the
+		// plan).
+		e.orders[i] = plan.OrderFor(best)
 
 		for _, z := range e.candidatesFor(i, best) {
 			e.units = append(e.units, unit{gfd: i, pivot: z})
@@ -781,7 +793,7 @@ func (w *parWorker) runUnit(u unit) {
 	if sim := eng.sims[u.gfd]; sim != nil {
 		filter = sim.Has
 	}
-	s := match.NewSearch(p, eng.g, match.Options{Order: eng.orders[u.gfd], Seed: seed, Filter: filter})
+	s := match.NewSearch(p, eng.g, match.Options{Order: eng.orders[u.gfd], Seed: seed, Filter: filter, Plan: eng.plans[u.gfd]})
 
 	if eng.opt.Pipeline {
 		w.runPipelined(u, phi, s)

@@ -28,6 +28,12 @@ type RevalidateOptions struct {
 	// work-stealing executor the reasoning engines use (per-worker deques,
 	// idle workers steal from peer backs); <= 1 runs sequentially.
 	Workers int
+	// Plans, when non-nil, resolves each GFD pattern through the compiled
+	// plan cache (pivot/order/label resolution computed once per pattern
+	// per snapshot epoch). Most effective when revalidating repeatedly
+	// against the same epoch-carrying snapshot; a fresh Overlay per call
+	// carries a fresh epoch and is planned per call.
+	Plans *match.PlanCache
 }
 
 // RevalidateStats counts the work an incremental revalidation performed;
@@ -93,7 +99,7 @@ func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID,
 	results := make([][]Violation, n)
 	run := func(gi int, st *RevalidateStats) {
 		phi := set.GFDs[gi]
-		results[gi] = revalidateGFD(phi, updated, hoods, prevBy[phi], st)
+		results[gi] = revalidateGFD(phi, updated, hoods, prevBy[phi], opt.Plans, st)
 	}
 	workers := opt.Workers
 	if workers > n {
@@ -150,9 +156,14 @@ func RevalidateDelta(set *gfd.Set, d *graph.Delta, prev []Violation, opt Revalid
 // re-enumeration — a match of such a pattern is a cross product of
 // independent component matches, so a change in any component invalidates
 // combinations whose root component lies arbitrarily far from the delta.
-func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.NodeID]bool, prev []Violation, st *RevalidateStats) []Violation {
+func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.NodeID]bool, prev []Violation, plans *match.PlanCache, st *RevalidateStats) []Violation {
 	p := phi.Pattern
+	var plan *match.Plan
 	order := match.DefaultOrder(p)
+	if plans != nil {
+		plan = plans.Get(p, updated)
+		order = plan.DefaultOrder()
+	}
 	if len(order) == 0 {
 		return nil
 	}
@@ -162,7 +173,7 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 	}
 	if !p.Connected() {
 		st.Full++
-		s := match.NewSearch(p, updated, match.Options{})
+		s := match.NewSearch(p, updated, match.Options{Plan: plan})
 		for {
 			h, ok := s.Next()
 			if !ok {
@@ -184,7 +195,7 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 		}
 	}
 	if cands := match.ScopedRootCandidates(p, updated, order, hood); len(cands) > 0 {
-		s := match.NewSearch(p, updated, match.Options{RootCandidates: cands})
+		s := match.NewSearch(p, updated, match.Options{RootCandidates: cands, Plan: plan})
 		for {
 			h, ok := s.Next()
 			if !ok {

@@ -66,6 +66,7 @@ func (f *Frozen) Compact() (*Frozen, Remap) {
 	}
 
 	nf := &Frozen{
+		epoch: nextEpoch(),
 		// Label tables are immutable after construction: share them. A label
 		// whose last node died keeps its (now empty) table entry.
 		nodeLabelIDs:   f.nodeLabelIDs,

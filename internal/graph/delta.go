@@ -618,7 +618,7 @@ func (d *Delta) rows() (out, in map[NodeID]*row) {
 // serving silently wrong rows.
 func (d *Delta) Overlay() *Overlay {
 	out, in := d.rows()
-	return &Overlay{d: d, base: d.base, version: d.version, out: out, in: in}
+	return &Overlay{d: d, base: d.base, version: d.version, epoch: nextEpoch(), out: out, in: in}
 }
 
 // Overlay is the composed Reader over a base snapshot and a delta; see
@@ -629,6 +629,11 @@ type Overlay struct {
 	base    *Frozen
 	version uint64
 	out, in map[NodeID]*row
+
+	// epoch/bitsets mirror Frozen's identity and cache state (epoch.go,
+	// bitset.go): each Overlay construction is its own snapshot identity.
+	epoch   uint64
+	bitsets bitsetCache
 }
 
 // Delta returns the delta the overlay composes over its base.

@@ -1,0 +1,59 @@
+// Snapshot epochs: a process-unique identity token for immutable readers.
+// Every snapshot construction path (Freeze, Refreeze, Compact, ReadSnapshot,
+// Delta.Overlay) draws a fresh value from one atomic counter, so two readers
+// share an epoch exactly when they serve the same immutable contents — a
+// Sharded view reports its underlying Frozen's epoch. Derived artifacts
+// compiled against a snapshot (match plans, caches) carry the epoch they
+// were built from and compare it to the reader they are asked to serve:
+// a Refreeze or Compact mints a new epoch, so stale artifacts are
+// mechanically unreachable without any registration or invalidation hooks.
+// Epochs order construction within a process but are not persisted: a
+// snapshot read back from disk is a new in-memory object and gets a new
+// epoch.
+package graph
+
+import "sync/atomic"
+
+// epochCounter backs nextEpoch. The zero value is never handed out, so 0
+// can mean "no epoch" in consumers.
+var epochCounter atomic.Uint64
+
+// nextEpoch returns a process-unique, monotonically increasing epoch token.
+func nextEpoch() uint64 { return epochCounter.Add(1) }
+
+// EpochView is the optional Reader extension implemented by immutable
+// snapshots: Epoch returns the reader's construction token. Two EpochView
+// readers with equal epochs serve identical graph contents for the life of
+// the process. The mutable *Graph deliberately does not implement it —
+// its contents have no stable identity; consumers needing staleness checks
+// there use Version instead.
+type EpochView interface {
+	Reader
+	Epoch() uint64
+}
+
+// Epoch returns the snapshot's construction token (see EpochView).
+func (f *Frozen) Epoch() uint64 { return f.epoch }
+
+// Epoch returns the underlying Frozen's epoch: the sharded view is an
+// access-path decoration, not a different snapshot.
+func (s *Sharded) Epoch() uint64 { return s.f.epoch }
+
+// Epoch returns the overlay's construction token. Each Delta.Overlay call
+// mints a fresh epoch: the overlay's contents are pinned to the delta
+// version it captured, and a later overlay of the same delta is a
+// different (possibly diverged) snapshot.
+func (o *Overlay) Epoch() uint64 { return o.epoch }
+
+// Version returns g's mutation counter: it increases on every mutating
+// call (AddNode, AddEdge, RemoveEdge, RemoveNode, SetAttr), so a consumer
+// holding (pointer, version) can detect that a mutable graph changed under
+// a derived artifact. Unlike epochs, versions are meaningful only relative
+// to one *Graph instance.
+func (g *Graph) Version() uint64 { return g.version }
+
+var (
+	_ EpochView = (*Frozen)(nil)
+	_ EpochView = (*Sharded)(nil)
+	_ EpochView = (*Overlay)(nil)
+)

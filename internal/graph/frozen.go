@@ -144,6 +144,7 @@ func (b *Builder) Freeze() *Frozen {
 	}
 	b.frozen = true
 	f := &Frozen{
+		epoch:          nextEpoch(),
 		nodes:          b.nodes,
 		nodeLabelIDs:   b.nodeLabelIDs,
 		nodeLabelNames: b.nodeLabelNames,
@@ -329,6 +330,13 @@ type Frozen struct {
 	// nil for snapshots without removals — the common case pays nothing.
 	dead      []bool
 	deadCount int
+
+	// epoch is the construction token (see epoch.go); bitsets the lazy
+	// candidate-bitset cache (see bitset.go). Both are identity/cache
+	// state, not graph content: they are never persisted, and the cache
+	// mutex means a Frozen must not be copied by value.
+	epoch   uint64
+	bitsets bitsetCache
 }
 
 // Frozen returns an immutable CSR snapshot of g's current contents, built

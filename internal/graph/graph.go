@@ -187,6 +187,12 @@ type Graph struct {
 	// graphs that never remove pay nothing.
 	dead      []bool
 	deadCount int
+	// version counts mutating calls (see Version in epoch.go): derived
+	// artifacts pin (pointer, version) to detect mutation underneath them.
+	// Bumped at the top of each mutator, so a no-op mutation (duplicate
+	// AddEdge, absent RemoveEdge) still advances it — conservative in the
+	// safe direction.
+	version uint64
 }
 
 // New returns an empty graph.
@@ -231,6 +237,7 @@ func (g *Graph) internEdgeLabel(label string) LabelID {
 
 // AddNode inserts a node with the given label and returns its ID.
 func (g *Graph) AddNode(label string) NodeID {
+	g.version++
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Label: label})
 	g.out = append(g.out, nil)
@@ -285,6 +292,7 @@ func (g *Graph) AddEdge(from, to NodeID, label string) {
 	if !g.Alive(from) || !g.Alive(to) {
 		panic(fmt.Sprintf("graph: AddEdge with invalid or removed endpoint %d->%d", from, to))
 	}
+	g.version++
 	id := g.internEdgeLabel(label)
 	key := edgeKey{from: from, to: to, label: id}
 	if _, dup := g.edgeSet[key]; dup {
@@ -308,6 +316,7 @@ func (g *Graph) RemoveEdge(from, to NodeID, label string) {
 	if !g.valid(from) || !g.valid(to) {
 		panic(fmt.Sprintf("graph: RemoveEdge with invalid endpoint %d->%d", from, to))
 	}
+	g.version++
 	id, ok := g.labelIDs[label]
 	if !ok {
 		return
@@ -348,6 +357,7 @@ func (g *Graph) RemoveNode(v NodeID) {
 	if !g.valid(v) {
 		panic(fmt.Sprintf("graph: RemoveNode on invalid node %d", v))
 	}
+	g.version++
 	if g.dead != nil && g.dead[v] {
 		return
 	}
@@ -383,6 +393,7 @@ func (g *Graph) SetAttr(v NodeID, attr, value string) {
 	if !g.Alive(v) {
 		panic(fmt.Sprintf("graph: SetAttr on invalid or removed node %d", v))
 	}
+	g.version++
 	n := &g.nodes[v]
 	if n.Attrs == nil {
 		n.Attrs = make(map[string]string)

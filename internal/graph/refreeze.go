@@ -24,7 +24,7 @@ func (f *Frozen) Refreeze(d *Delta) *Frozen {
 	baseN := len(f.nodes)
 	n2 := baseN + len(d.nodes)
 
-	nf := &Frozen{}
+	nf := &Frozen{epoch: nextEpoch()}
 	nf.nodes = make([]Node, n2)
 	copy(nf.nodes, f.nodes)
 	for i := range d.nodes {

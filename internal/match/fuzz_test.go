@@ -1,0 +1,86 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// operandFromBytes decodes fuzz bytes into an ascending NodeID slice:
+// each byte is a non-negative increment (mod 8) on a running value, so
+// arbitrary inputs always yield a valid sorted operand and a zero
+// increment yields the duplicates the kernel contract must preserve.
+func operandFromBytes(b []byte) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(b))
+	v := graph.NodeID(0)
+	for _, x := range b {
+		v += graph.NodeID(x % 8)
+		out = append(out, v)
+	}
+	return out
+}
+
+func cloneIDs(ids []graph.NodeID) []graph.NodeID {
+	return append([]graph.NodeID(nil), ids...)
+}
+
+func idsEqual(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzIntersect pins the kernel contract of intersect.go: merge, both
+// gallop directions, the adaptive picker, and the bitset kernel all
+// compute base filtered to the values present in list — same elements,
+// same order, same multiplicity — on arbitrary sorted operand pairs.
+// CI replays the seed corpus deterministically (see ci.yml); run with
+// -fuzz=FuzzIntersect to explore.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte{})
+	f.Add([]byte{}, []byte{1, 1, 2})
+	f.Add([]byte{1, 1, 1}, []byte{3})
+	f.Add([]byte{5, 0, 0, 2}, []byte{5, 0, 2, 0})
+	f.Add([]byte{1}, []byte{0, 1, 1, 2, 3, 4, 5, 6, 7, 1, 1, 1, 2, 3, 0, 0})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 1, 1, 1, 2, 3, 0, 0}, []byte{2, 2})
+	f.Add([]byte{7, 7, 7, 7}, []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, rawBase, rawList []byte) {
+		base := operandFromBytes(rawBase)
+		list := operandFromBytes(rawList)
+
+		want := intersectSorted(cloneIDs(base), list)
+
+		if got := intersectGallopList(cloneIDs(base), list); !idsEqual(got, want) {
+			t.Fatalf("gallop(list) diverges from merge:\nbase %v\nlist %v\nmerge  %v\ngallop %v", base, list, want, got)
+		}
+		if got := intersectGallopBase(cloneIDs(base), list); !idsEqual(got, want) {
+			t.Fatalf("gallop(base) diverges from merge:\nbase %v\nlist %v\nmerge  %v\ngallop %v", base, list, want, got)
+		}
+		if got := intersectAdaptive(cloneIDs(base), list); !idsEqual(got, want) {
+			t.Fatalf("adaptive picker diverges from merge:\nbase %v\nlist %v\nmerge    %v\nadaptive %v", base, list, want, got)
+		}
+
+		// Bitset kernel: membership-set semantics — build the set from
+		// list, then filter base through it.
+		max := graph.NodeID(0)
+		for _, n := range list {
+			if n > max {
+				max = n
+			}
+		}
+		bs := make(graph.Bitset, (int(max)+64)/64)
+		for _, n := range list {
+			bs[uint(n)>>6] |= 1 << (uint(n) & 63)
+		}
+		if got := intersectBitset(cloneIDs(base), bs); !idsEqual(got, want) {
+			t.Fatalf("bitset kernel diverges from merge:\nbase %v\nlist %v\nmerge  %v\nbitset %v", base, list, want, got)
+		}
+	})
+}

@@ -55,7 +55,11 @@ type Search struct {
 	// the first open variable (the root frame): the shard fan-out partitions
 	// the root candidate set this way. All downstream pruning still applies.
 	rootCands []graph.NodeID
-	scan      bool
+	// rootPruned marks rootCands as already signature-pruned (a Plan's
+	// precomputed root frame), so candidates() skips re-pruning it.
+	rootPruned bool
+	scan       bool
+	mergeOnly  bool
 	// vars holds per-variable pre-resolved label IDs so the inner loops
 	// never hash a string: pattern edge labels aligned with p.Out/p.In, and
 	// the variable's pruning signature.
@@ -86,13 +90,44 @@ type frame struct {
 }
 
 // varIndex is one pattern variable's label IDs resolved against the data
-// graph, computed once per Search.
+// graph, computed once per Search — or once per Plan, which shares one
+// resolved set across every search compiled from it.
 type varIndex struct {
 	labelID graph.LabelID   // the variable's node label (AnyLabel for '_')
 	outIDs  []graph.LabelID // aligned with p.Out(v)
 	inIDs   []graph.LabelID // aligned with p.In(v)
 	sigOut  []graph.LabelID // resolved Signature.Out
 	sigIn   []graph.LabelID // resolved Signature.In
+	// freq and cand feed the adaptive kernel picker: the variable's label
+	// frequency (candidate count) decides when galloping the label run
+	// through a long adjacency beats scanning it, and cand — non-nil only
+	// for high-frequency labels on bitset-serving snapshots — answers the
+	// label test in one word probe.
+	freq int
+	cand graph.Bitset
+}
+
+// resolveVars computes the per-variable index against g: the shared body
+// of NewSearch and CompilePlan. The result is read-only once built, so a
+// Plan can hand one copy to many concurrent searches.
+func resolveVars(p *pattern.Pattern, g graph.Reader) []varIndex {
+	bp, _ := g.(graph.BitsetProvider)
+	vars := make([]varIndex, p.NumVars())
+	for v := range vars {
+		u := pattern.Var(v)
+		sig := p.Signature(u)
+		vx := &vars[v]
+		vx.labelID = g.NodeLabelID(p.Label(u))
+		vx.outIDs = resolveEdgeLabels(g, p.Out(u))
+		vx.inIDs = resolveEdgeLabels(g, p.In(u))
+		vx.sigOut = g.ResolveLabels(sig.Out)
+		vx.sigIn = g.ResolveLabels(sig.In)
+		vx.freq = g.LabelFrequency(p.Label(u))
+		if bp != nil {
+			vx.cand = bp.CandidateBitset(p.Label(u))
+		}
+	}
+	return vars
 }
 
 // Options configures a Search.
@@ -125,6 +160,18 @@ type Options struct {
 	// the indexed-vs-scan equivalence tests and benchmarks; production
 	// callers leave it false.
 	Scan bool
+	// Plan, when non-nil, supplies the precompiled planning artifacts
+	// (resolved label IDs, default order, pre-pruned root candidates) from
+	// CompilePlan/PlanCache.Get, skipping per-search planning. The plan
+	// must have been compiled for this pattern against a reader serving the
+	// same contents; NewSearch panics on a mismatch (see Plan.validFor) —
+	// a stale plan must never silently serve a new snapshot epoch.
+	Plan *Plan
+	// MergeOnly pins every intersection to the linear merge and disables
+	// the gallop/bitset candidate paths: the ablation baseline for the
+	// adaptive-kernel equivalence tests and the match_adaptive_speedup CI
+	// ratio. Production callers leave it false.
+	MergeOnly bool
 }
 
 // DefaultOrder returns a connectivity-respecting order over all components.
@@ -152,9 +199,22 @@ func PivotedOrder(p *pattern.Pattern, pivots []pattern.Var) []pattern.Var {
 // first Next call rejects a bad seed by returning no matches for that
 // branch).
 func NewSearch(p *pattern.Pattern, g graph.Reader, opts Options) *Search {
+	pl := opts.Plan
+	if pl != nil {
+		if pl.pat != p {
+			panic("match: Options.Plan was compiled for a different pattern")
+		}
+		if !pl.validFor(g) {
+			panic("match: stale Options.Plan: the graph changed since CompilePlan (recompile, or fetch through PlanCache.Get)")
+		}
+	}
 	order := opts.Order
 	if order == nil {
-		order = DefaultOrder(p)
+		if pl != nil {
+			order = pl.defaultOrder
+		} else {
+			order = DefaultOrder(p)
+		}
 	}
 	s := &Search{
 		p:         p,
@@ -164,20 +224,25 @@ func NewSearch(p *pattern.Pattern, g graph.Reader, opts Options) *Search {
 		filter:    opts.Filter,
 		rootCands: opts.RootCandidates,
 		scan:      opts.Scan,
+		mergeOnly: opts.MergeOnly,
 		assign:    NewAssignment(p.NumVars()),
 		seeded:    make([]bool, p.NumVars()),
 	}
-	s.vars = make([]varIndex, p.NumVars())
-	for v := range s.vars {
-		u := pattern.Var(v)
-		sig := p.Signature(u)
-		outs, ins := p.Out(u), p.In(u)
-		vx := &s.vars[v]
-		vx.labelID = g.NodeLabelID(p.Label(u))
-		vx.outIDs = resolveEdgeLabels(g, outs)
-		vx.inIDs = resolveEdgeLabels(g, ins)
-		vx.sigOut = g.ResolveLabels(sig.Out)
-		vx.sigIn = g.ResolveLabels(sig.In)
+	if pl != nil {
+		s.vars = pl.vars
+	} else {
+		s.vars = resolveVars(p, g)
+	}
+	// An unseeded, unpartitioned search following the plan's default order
+	// can reuse the plan's precomputed root frame: the label pull plus
+	// signature pruning that otherwise dominates a short query. Scan mode
+	// is excluded (it deliberately skips signature pruning).
+	if pl != nil && !opts.Scan && opts.Seed == nil && s.rootCands == nil &&
+		len(order) > 0 && len(pl.defaultOrder) > 0 && order[0] == pl.defaultOrder[0] {
+		if root := pl.root(); root != nil {
+			s.rootCands = root
+			s.rootPruned = true
+		}
 	}
 	if opts.Seed != nil {
 		// See Options.RootCandidates: a root partition is meaningless once
@@ -340,12 +405,7 @@ func (s *Search) candidates(v pattern.Var, buf []graph.NodeID) (cands []graph.No
 					}
 				}
 			} else {
-				want := s.vars[v].labelID
-				for _, n := range s.g.OutByLabelID(u, s.vars[v].inIDs[ei]) {
-					if want == graph.AnyLabel || want == s.g.LabelIDOf(n) {
-						base = append(base, n)
-					}
-				}
+				base = s.expandFrom(v, base, s.g.OutByLabelID(u, s.vars[v].inIDs[ei]))
 				genIn, genEi = true, ei
 			}
 			gen = true
@@ -363,12 +423,7 @@ func (s *Search) candidates(v pattern.Var, buf []graph.NodeID) (cands []graph.No
 						}
 					}
 				} else {
-					want := s.vars[v].labelID
-					for _, n := range s.g.InByLabelID(u, s.vars[v].outIDs[ei]) {
-						if want == graph.AnyLabel || want == s.g.LabelIDOf(n) {
-							base = append(base, n)
-						}
-					}
+					base = s.expandFrom(v, base, s.g.InByLabelID(u, s.vars[v].outIDs[ei]))
 					genIn, genEi = false, ei
 				}
 				gen = true
@@ -381,12 +436,14 @@ func (s *Search) candidates(v pattern.Var, buf []graph.NodeID) (cands []graph.No
 		// per-depth scratch buffer is the only storage touched. The root
 		// frame (depth 0) draws from the caller-provided partition slice
 		// instead when one was configured.
+		prePruned := false
 		if s.rootCands != nil && len(s.stack) == 0 {
 			base = append(base, s.rootCands...)
+			prePruned = s.rootPruned
 		} else {
 			base = s.g.AppendCandidates(base, label)
 		}
-		if !s.scan && (len(s.vars[v].sigOut) > 0 || len(s.vars[v].sigIn) > 0) {
+		if !s.scan && !prePruned && (len(s.vars[v].sigOut) > 0 || len(s.vars[v].sigIn) > 0) {
 			// Signature pruning: drop nodes whose out/in edge labels cannot
 			// cover v's pattern edges. Sound (never drops a real match) and
 			// applied only to unconstrained label-index sets — neighbor
@@ -478,9 +535,10 @@ func intersectSorted(base, list []graph.NodeID) []graph.NodeID {
 
 // filterBoundEdges drops candidates violating a pattern edge between v and
 // an already-assigned variable (or a self-loop at v), excluding the
-// generating edge genEi. Each edge's constraint is one sorted-merge
+// generating edge genEi. Each edge's constraint is one sorted-list
 // intersection with the bound neighbor's label-filtered adjacency —
-// resolved once per edge, O(|base|+|adjacency|) total.
+// resolved once per edge, with the kernel (merge or gallop) picked from
+// the operand lengths by s.intersect.
 func (s *Search) filterBoundEdges(v pattern.Var, base []graph.NodeID, genIn bool, genEi int) []graph.NodeID {
 	for ei, e := range s.p.Out(v) {
 		if (genEi == ei && !genIn) || len(base) == 0 {
@@ -502,7 +560,7 @@ func (s *Search) filterBoundEdges(v pattern.Var, base []graph.NodeID, genIn bool
 		if u == graph.InvalidNode {
 			continue
 		}
-		base = intersectSorted(base, s.g.InByLabelID(u, id))
+		base = s.intersect(base, s.g.InByLabelID(u, id))
 	}
 	for ei, e := range s.p.In(v) {
 		if (genEi == ei && genIn) || len(base) == 0 {
@@ -515,7 +573,7 @@ func (s *Search) filterBoundEdges(v pattern.Var, base []graph.NodeID, genIn bool
 		if u == graph.InvalidNode {
 			continue
 		}
-		base = intersectSorted(base, s.g.OutByLabelID(u, s.vars[v].inIDs[ei]))
+		base = s.intersect(base, s.g.OutByLabelID(u, s.vars[v].inIDs[ei]))
 	}
 	return base
 }

@@ -1,0 +1,182 @@
+// Compiled query plans. Planning a search — resolving every pattern label
+// against the graph's interned tables, deriving the default order, picking
+// pivots, pulling and signature-pruning the root candidate frame — costs
+// more than executing a short selective query, and the service workloads
+// repeat the same patterns against the same snapshot. A Plan captures all
+// of it once; a PlanCache keys plans by pattern identity and revalidates
+// them against the reader's snapshot epoch on every fetch, so a Refreeze
+// or Compact (which mint new epochs) makes cached plans unreachable with
+// no invalidation hooks: the stale plan simply never matches again and is
+// recompiled on first use.
+package match
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Plan is the reusable planning artifact for one (pattern, graph-contents)
+// pair: resolved label IDs and frequencies per variable, the default and
+// per-pivot variable orders, and the lazily materialized, signature-pruned
+// root candidate frame. Plans are immutable after CompilePlan and safe to
+// share across concurrent searches. A Plan is bound to the contents it was
+// compiled against: NewSearch re-checks that binding and panics on a
+// stale plan (see validFor).
+type Plan struct {
+	pat *pattern.Pattern
+	// g is the reader the plan was compiled against. For EpochView readers
+	// the binding is the epoch (any reader serving that epoch may use the
+	// plan — e.g. a Frozen and its Sharded view); for a mutable *Graph it
+	// is the pointer plus its mutation counter.
+	g        graph.Reader
+	epoch    uint64
+	gVersion uint64
+
+	vars         []varIndex
+	defaultOrder []pattern.Var
+	pivots       []pattern.Var
+	pivotOrders  [][]pattern.Var // aligned with pivots
+
+	// rootOnce materializes rootCands on first use: the label pull plus
+	// signature pruning for defaultOrder's first variable. Lazy because
+	// engine workloads seed every search and never open a root frame.
+	rootOnce  sync.Once
+	rootCands []graph.NodeID
+}
+
+// CompilePlan resolves p against g and returns the plan. The caller must
+// not mutate g while using the plan (NewSearch enforces this for mutable
+// graphs via the version check).
+func CompilePlan(p *pattern.Pattern, g graph.Reader) *Plan {
+	pl := &Plan{pat: p, g: g}
+	if ev, ok := g.(graph.EpochView); ok {
+		pl.epoch = ev.Epoch()
+	} else if mg, ok := g.(*graph.Graph); ok {
+		pl.gVersion = mg.Version()
+	}
+	pl.vars = resolveVars(p, g)
+	pl.defaultOrder = DefaultOrder(p)
+	pl.pivots = p.Pivot(g)
+	pl.pivotOrders = make([][]pattern.Var, len(pl.pivots))
+	for i, pv := range pl.pivots {
+		pl.pivotOrders[i] = p.PivotOrder(pv)
+	}
+	return pl
+}
+
+// validFor reports whether the plan may serve g: an EpochView reader must
+// carry the compiled epoch; the mutable graph must be the same instance at
+// the same mutation count. Any other reader (or an epoch reader plan asked
+// to serve a mutable graph, and vice versa) is a mismatch.
+func (pl *Plan) validFor(g graph.Reader) bool {
+	if ev, ok := g.(graph.EpochView); ok {
+		return pl.epoch != 0 && pl.epoch == ev.Epoch()
+	}
+	if mg, ok := g.(*graph.Graph); ok {
+		return pl.epoch == 0 && pl.g == graph.Reader(mg) && pl.gVersion == mg.Version()
+	}
+	return false
+}
+
+// Pattern returns the pattern the plan was compiled for.
+func (pl *Plan) Pattern() *pattern.Pattern { return pl.pat }
+
+// Epoch returns the snapshot epoch the plan is bound to (0 when compiled
+// against a mutable graph).
+func (pl *Plan) Epoch() uint64 { return pl.epoch }
+
+// DefaultOrder returns the plan's precomputed default variable order.
+// Callers must not mutate the slice.
+func (pl *Plan) DefaultOrder() []pattern.Var { return pl.defaultOrder }
+
+// Pivots returns the precomputed pivot per connected component (the result
+// of pattern.Pivot against the plan's graph). Callers must not mutate the
+// slice.
+func (pl *Plan) Pivots() []pattern.Var { return pl.pivots }
+
+// OrderFor returns the precomputed engine order for a unit pivoted at pv
+// (pv's component first, then the remaining components — pattern.PivotOrder).
+// A pv outside the plan's pivot set is computed on the fly.
+func (pl *Plan) OrderFor(pv pattern.Var) []pattern.Var {
+	for i, cand := range pl.pivots {
+		if cand == pv {
+			return pl.pivotOrders[i]
+		}
+	}
+	return pl.pat.PivotOrder(pv)
+}
+
+// root returns the signature-pruned candidate list for the default order's
+// root variable, materialized once. nil when the pattern has no variables
+// or the root label has no candidates (callers fall back to the normal
+// pull, which finds the same nothing).
+func (pl *Plan) root() []graph.NodeID {
+	pl.rootOnce.Do(func() {
+		if len(pl.defaultOrder) == 0 {
+			return
+		}
+		v := pl.defaultOrder[0]
+		cands := pl.g.AppendCandidates(nil, pl.pat.Label(v))
+		vx := &pl.vars[v]
+		if len(vx.sigOut) > 0 || len(vx.sigIn) > 0 {
+			kept := cands[:0]
+			for _, n := range cands {
+				if pl.g.CoversIDs(n, vx.sigOut, vx.sigIn) {
+					kept = append(kept, n)
+				}
+			}
+			cands = kept
+		}
+		pl.rootCands = cands
+	})
+	return pl.rootCands
+}
+
+// PlanCache memoizes one Plan per pattern, revalidated against the
+// reader's epoch on every Get. The map is keyed by pattern pointer —
+// patterns are immutable after Freeze, so pointer identity is content
+// identity for the process — which also bounds the cache at one entry per
+// live pattern; a new snapshot epoch overwrites in place rather than
+// accumulating. Safe for concurrent use.
+type PlanCache struct {
+	mu    sync.RWMutex
+	plans map[*pattern.Pattern]*Plan
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[*pattern.Pattern]*Plan)}
+}
+
+// Get returns a plan for (p, g), reusing the cached one when its epoch
+// matches g's and recompiling (and replacing the entry) otherwise — the
+// automatic invalidation path for Refreeze/Compact, whose snapshots carry
+// fresh epochs. Mutable (non-EpochView) readers have no stable content
+// identity to key on, so Get compiles a fresh uncached plan for them; the
+// win there is sharing one plan across a run's work units, which the
+// caller does by passing the same Plan to every NewSearch.
+func (c *PlanCache) Get(p *pattern.Pattern, g graph.Reader) *Plan {
+	if _, ok := g.(graph.EpochView); !ok {
+		return CompilePlan(p, g)
+	}
+	c.mu.RLock()
+	pl := c.plans[p]
+	c.mu.RUnlock()
+	if pl != nil && pl.validFor(g) {
+		return pl
+	}
+	pl = CompilePlan(p, g)
+	c.mu.Lock()
+	c.plans[p] = pl
+	c.mu.Unlock()
+	return pl
+}
+
+// Len returns the number of cached plans (one per pattern).
+func (c *PlanCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.plans)
+}

@@ -248,6 +248,26 @@ func (p *Pattern) MatchOrder(start Var) []Var {
 	return order
 }
 
+// PivotOrder returns the full variable ordering for a search pivoted at
+// pv: pv's component first (starting at pv), then each remaining component
+// in component order. This is the plan-extraction companion of Pivot —
+// the parallel engines' work units and compiled match plans both order
+// their searches with it.
+func (p *Pattern) PivotOrder(pv Var) []Var {
+	p.Freeze()
+	order := p.MatchOrder(pv)
+	seen := make(map[Var]bool, len(order))
+	for _, v := range order {
+		seen[v] = true
+	}
+	for _, comp := range p.components {
+		if !seen[comp[0]] {
+			order = append(order, p.MatchOrder(comp[0])...)
+		}
+	}
+	return order
+}
+
 func (p *Pattern) componentOf(v Var) []Var {
 	for _, comp := range p.components {
 		for _, u := range comp {
