@@ -14,7 +14,13 @@
 // sat prints SATISFIABLE or UNSATISFIABLE (with the conflicting attribute),
 // imp prints IMPLIED or NOT-IMPLIED, check prints the violations of the
 // rules in the graph. Exit status 0 on success, 1 on a negative check
-// answer, 2 on usage or parse errors.
+// answer, 2 on usage or parse errors, 3 when -timeout expired before the
+// run finished — a negative answer (exit 1) and a run that never completed
+// (exit 3) are different facts, so they get different codes.
+//
+// -timeout bounds sat, imp, and check through the engines' cooperative
+// cancellation; it needs the parallel algorithms, so it rejects -seq and
+// -baseline.
 //
 // Graph arguments accept either format transparently: the text format or a
 // binary snapshot image (sniffed by magic bytes). snapshot converts to the
@@ -28,11 +34,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
-	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/gfd"
@@ -55,10 +62,21 @@ func main() {
 	threshold := fs.Float64("threshold", graph.DefaultCompactThreshold,
 		"recover only: dead-slot fraction that triggers compaction (0 compacts any dead slot, negative disables)")
 	output := fs.String("o", "", "recover only: write the folded snapshot here (default: overwrite the store)")
+	timeout := fs.Duration("timeout", 0, "sat/imp/check only: cancel the run after this long and exit 3")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 	args := fs.Args()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		if *seq || *baseline {
+			fatalf("-timeout needs the cooperative cancellation of the parallel algorithms; drop -seq/-baseline")
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch cmd {
 	case "sat":
@@ -70,8 +88,11 @@ func main() {
 		if *seq {
 			res = core.SeqSat(set)
 		} else {
-			res = core.ParSat(set, core.DefaultParOptions(*workers))
+			opt := core.DefaultParOptions(*workers)
+			opt.Ctx = ctx
+			res = core.ParSat(set, opt)
 		}
+		exitOnRunErr(res.Err)
 		if res.Satisfiable {
 			fmt.Println("SATISFIABLE")
 			return
@@ -98,7 +119,10 @@ func main() {
 			r := core.SeqImp(set, phi)
 			implied, reason = r.Implied, r.Reason.String()
 		default:
-			r := core.ParImp(set, phi, core.DefaultParOptions(*workers))
+			opt := core.DefaultParOptions(*workers)
+			opt.Ctx = ctx
+			r := core.ParImp(set, phi, opt)
+			exitOnRunErr(r.Err)
 			implied, reason = r.Implied, r.Reason.String()
 		}
 		if implied {
@@ -138,7 +162,8 @@ func main() {
 			}
 			data = d.Overlay()
 		}
-		vs := core.Violations(data, set)
+		vs, verr := core.ViolationsCtx(ctx, data, set)
+		exitOnRunErr(verr)
 		if len(vs) == 0 {
 			fmt.Println("CLEAN: graph satisfies all rules")
 			return
@@ -222,33 +247,13 @@ func readGraph(path string) *graph.Frozen {
 	return g
 }
 
-// writeSnapshot writes the binary store image atomically enough for a tool:
-// to a temp file in the same directory, then rename, so a crash mid-write
-// never leaves a half-image at the target path. Cleanup is explicit, not
-// deferred: fatalf exits the process, which would skip a defer and leak
-// the partial .gfdsnap-* file on every failed run.
+// writeSnapshot writes the binary store image through the crash-safe
+// rewrite protocol (temp + fsync + rename + directory fsync; see
+// gfdio.WriteSnapshotAtomic): a crash or I/O failure leaves the previous
+// store image intact, never a torn one.
 func writeSnapshot(path string, g *graph.Frozen) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".gfdsnap-*")
-	if err != nil {
+	if err := gfdio.WriteSnapshotAtomic(path, g); err != nil {
 		fatalf("%v", err)
-	}
-	fail := func(format string, args ...any) {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		fatalf(format, args...)
-	}
-	if err := gfdio.WriteSnapshot(tmp, g); err != nil {
-		fail("write %s: %v", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		fail("sync %s: %v", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		fail("close %s: %v", path, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		fatalf("rename to %s: %v", path, err)
 	}
 }
 
@@ -265,6 +270,20 @@ func readSet(path string) *gfd.Set {
 	return set
 }
 
+// exitOnRunErr maps an engine run error to the exit contract: a timed-out
+// or canceled run exits 3 (the question was never answered, which is not
+// the exit-1 negative answer), anything else is a hard error.
+func exitOnRunErr(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, core.ErrCanceled) {
+		fmt.Fprintf(os.Stderr, "timeout: %v\n", err)
+		os.Exit(3)
+	}
+	fatalf("%v", err)
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(2)
@@ -272,11 +291,12 @@ func fatalf(format string, args ...any) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gfdreason sat      [-p 4] [-seq] sigma.gfd
-  gfdreason imp      [-p 4] [-seq] [-baseline] sigma.gfd target.gfd
-  gfdreason check    [-wal updates.wal] sigma.gfd graph
+  gfdreason sat      [-p 4] [-seq] [-timeout 30s] sigma.gfd
+  gfdreason imp      [-p 4] [-seq] [-baseline] [-timeout 30s] sigma.gfd target.gfd
+  gfdreason check    [-wal updates.wal] [-timeout 30s] sigma.gfd graph
   gfdreason snapshot [-compact] graph store.snap
   gfdreason recover  [-threshold 0.25] [-o new.snap] store.snap updates.wal
-graph arguments accept the text format or a binary snapshot image`)
+graph arguments accept the text format or a binary snapshot image
+-timeout cancels the run and exits 3 (distinct from exit 1, a negative answer)`)
 	os.Exit(2)
 }

@@ -684,7 +684,7 @@ func Incremental(cfg Config) *Report {
 	full := medianTime(cfg.Reps, func() { core.Violations(overlay, set) })
 	var stats core.RevalidateStats
 	incr := medianTime(cfg.Reps, func() {
-		_, stats = core.RevalidateDelta(set, vdelta, prev, core.RevalidateOptions{})
+		_, stats, _ = core.RevalidateDelta(set, vdelta, prev, core.RevalidateOptions{})
 	})
 	incrPar := medianTime(cfg.Reps, func() {
 		core.RevalidateDelta(set, vdelta, prev, core.RevalidateOptions{Workers: CIShardWorkers})

@@ -15,10 +15,12 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -475,6 +477,35 @@ func RunCI(cfg Config) (*CIReport, error) {
 	gauge("parsat_steal_speedup", centralT, stealT)
 	info("parsat_steal_ms", stealT)
 	info("parsat_central_ms", centralT)
+
+	// Cooperative-cancellation latency on the same workload: cancel a run
+	// ~2ms in and measure cancel-to-return. Informational only — it is a
+	// scheduling measurement, not a machine-independent ratio — but it
+	// keeps the cancellation bound visible in every report. Reps where the
+	// run finishes before the cancel lands measure nothing and are skipped.
+	var cancelLats []time.Duration
+	for i := 0; i < cfg.Reps; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		xopt := popt
+		xopt.Ctx = ctx
+		at := make(chan time.Time, 1)
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			at <- time.Now()
+			cancel()
+		}()
+		res := core.ParSat(set, xopt)
+		ret := time.Now()
+		canceledAt := <-at
+		cancel()
+		if res.Err != nil {
+			cancelLats = append(cancelLats, ret.Sub(canceledAt))
+		}
+	}
+	if len(cancelLats) > 0 {
+		sort.Slice(cancelLats, func(i, j int) bool { return cancelLats[i] < cancelLats[j] })
+		info("parsat_cancel_latency_ms", cancelLats[len(cancelLats)/2])
+	}
 
 	// Incremental re-freeze vs from-scratch rebuild of the same final state
 	// on the 100k-edge ingest base with a 1% delta. Each rep gets its own

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/gfd"
+	"repro/internal/graph"
+)
+
+// satSet builds a known-satisfiable set with one unit of work per GFD: the
+// consequences land on distinct attributes with a single value each, so no
+// two rules can conflict and a canceled run can never be saved by an early
+// legitimate UNSAT answer.
+func satSet(n int) *gfd.Set {
+	set := gfd.NewSet()
+	for i := 0; i < n; i++ {
+		set.Add(gfd.MustNew(fmt.Sprintf("c%d", i), q6(), nil,
+			[]gfd.Literal{gfd.Const(0, fmt.Sprintf("k%d", i), "v")}))
+	}
+	return set
+}
+
+// assertGoroutineBaseline retries until the goroutine count settles back to
+// the pre-run baseline: a canceled or panicked run must not strand workers,
+// watchers, or pipelined producers.
+func assertGoroutineBaseline(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParPreCanceled pins the entry check on both engines and executors: a
+// context canceled before the call returns ErrCanceled without starting.
+func TestParPreCanceled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	set := satSet(4)
+	target := gfd.MustNew("t", q6(), nil, []gfd.Literal{gfd.Const(0, "fresh", "x")})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, stealing := range []bool{false, true} {
+		opt := DefaultParOptions(2)
+		opt.Stealing = stealing
+		opt.Ctx = ctx
+		if res := ParSat(set, opt); !errors.Is(res.Err, ErrCanceled) {
+			t.Fatalf("stealing=%v: ParSat.Err = %v, want ErrCanceled", stealing, res.Err)
+		}
+		if res := ParImp(set, target, opt); !errors.Is(res.Err, ErrCanceled) {
+			t.Fatalf("stealing=%v: ParImp.Err = %v, want ErrCanceled", stealing, res.Err)
+		}
+	}
+	assertGoroutineBaseline(t, before)
+}
+
+// TestParSatCancelMidFlight cancels from inside the first work unit, under
+// every algorithm variant and both executors: the run must come back with
+// ErrCanceled — abandoned units can never conclude as a SATISFIABLE answer
+// — and leave no goroutine behind.
+func TestParSatCancelMidFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	set := satSet(24)
+	for vname, opt := range variantOptions(4) {
+		ctx, cancel := context.WithCancel(context.Background())
+		opt.Ctx = ctx
+		opt.testHookUnitStart = func(int, graph.NodeID) { cancel() }
+		res := ParSat(set, opt)
+		cancel()
+		if !errors.Is(res.Err, ErrCanceled) {
+			t.Fatalf("%s: ParSat.Err = %v, want ErrCanceled", vname, res.Err)
+		}
+	}
+	assertGoroutineBaseline(t, before)
+}
+
+// TestParImpCancelMidFlight is the implication twin, on a NOT-IMPLIED
+// instance so the only legitimate conclusion is the full quiescence the
+// cancel preempts.
+func TestParImpCancelMidFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	set := satSet(8)
+	target := gfd.MustNew("t", q6(), nil, []gfd.Literal{gfd.Const(0, "fresh", "x")})
+	for vname, opt := range variantOptions(4) {
+		ctx, cancel := context.WithCancel(context.Background())
+		opt.Ctx = ctx
+		opt.testHookUnitStart = func(int, graph.NodeID) { cancel() }
+		res := ParImp(set, target, opt)
+		cancel()
+		if !errors.Is(res.Err, ErrCanceled) {
+			t.Fatalf("%s: ParImp.Err = %v, want ErrCanceled", vname, res.Err)
+		}
+		if res.Implied {
+			t.Fatalf("%s: canceled run claims IMPLIED", vname)
+		}
+	}
+	assertGoroutineBaseline(t, before)
+}
+
+// TestParDeadlineExceeded pins the error mapping: a deadline firing
+// surfaces as context.DeadlineExceeded, not as ErrCanceled.
+func TestParDeadlineExceeded(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	opt := DefaultParOptions(2)
+	opt.Ctx = ctx
+	res := ParSat(satSet(8), opt)
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("ParSat.Err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	assertGoroutineBaseline(t, before)
+}
+
+// TestParSatPanicIsolation injects a panic into a work unit under every
+// variant: the run must fail with a *PanicError carrying the value and a
+// stack — the process stays alive, siblings are canceled, nothing leaks.
+func TestParSatPanicIsolation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	set := satSet(24)
+	for vname, opt := range variantOptions(4) {
+		opt.testHookUnitStart = func(int, graph.NodeID) { panic("boom-42") }
+		res := ParSat(set, opt)
+		if res.Err == nil {
+			t.Fatalf("%s: panicking unit produced no error", vname)
+		}
+		var pe *PanicError
+		if !errors.As(res.Err, &pe) {
+			t.Fatalf("%s: ParSat.Err = %v, want *PanicError", vname, res.Err)
+		}
+		if pe.Value != "boom-42" {
+			t.Fatalf("%s: panic value %v, want boom-42", vname, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("%s: panic error carries no stack", vname)
+		}
+		if res.Satisfiable {
+			t.Fatalf("%s: panicked run claims SATISFIABLE", vname)
+		}
+	}
+	assertGoroutineBaseline(t, before)
+}
+
+// revalidateCancelFixture builds a revalidation workload with enough GFDs
+// that a cancel or panic injected at the first task start preempts the run.
+func revalidateCancelFixture() (*gfd.Set, *graph.Delta, []Violation) {
+	gr := gen.New(gen.Config{N: 12, K: 4, L: 2, WildcardRate: 0.2, Seed: 3})
+	set := gr.Set()
+	g := gr.ConsistentGraph(80)
+	base := g.Frozen()
+	prev := Violations(base, set)
+	d := gr.DenseDelta(base, 20)
+	return set, d, prev
+}
+
+// TestRevalidateCancel covers the revalidation paths: pre-canceled and
+// canceled-from-the-first-task contexts return ErrCanceled from both the
+// sequential loop and the work-stealing pool.
+func TestRevalidateCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	set, d, prev := revalidateCancelFixture()
+	for _, workers := range []int{0, 4} {
+		pre, cancelPre := context.WithCancel(context.Background())
+		cancelPre()
+		_, _, err := RevalidateDelta(set, d, prev, RevalidateOptions{Workers: workers, Ctx: pre})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers=%d: pre-canceled err = %v, want ErrCanceled", workers, err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		opt := RevalidateOptions{Workers: workers, Ctx: ctx}
+		opt.testHookGFDStart = func(int) { cancel() }
+		_, _, err = RevalidateDelta(set, d, prev, opt)
+		cancel()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers=%d: mid-flight err = %v, want ErrCanceled", workers, err)
+		}
+	}
+	assertGoroutineBaseline(t, before)
+}
+
+// TestRevalidatePanicIsolation panics inside a revalidation task: the pool
+// must convert it into a *PanicError and shut down cleanly.
+func TestRevalidatePanicIsolation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	set, d, prev := revalidateCancelFixture()
+	opt := RevalidateOptions{Workers: 4}
+	opt.testHookGFDStart = func(int) { panic("reval-boom") }
+	_, _, err := RevalidateDelta(set, d, prev, opt)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "reval-boom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error incomplete: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+	assertGoroutineBaseline(t, before)
+}
+
+// TestViolationsCtx pins the validation entry point: a canceled context
+// stops the GFD sweep with ErrCanceled, and a live one reproduces
+// Violations exactly.
+func TestViolationsCtx(t *testing.T) {
+	gr := gen.New(gen.Config{N: 8, K: 4, L: 2, WildcardRate: 0.2, Seed: 9})
+	set := gr.Set()
+	g := gr.ConsistentGraph(60).Frozen()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ViolationsCtx(ctx, g, set); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ViolationsCtx err = %v, want ErrCanceled", err)
+	}
+
+	got, err := ViolationsCtx(context.Background(), g, set)
+	if err != nil {
+		t.Fatalf("live ViolationsCtx: %v", err)
+	}
+	if want := Violations(g, set); !violationsEqual(got, want) {
+		t.Fatalf("ViolationsCtx diverges from Violations: %d vs %d", len(got), len(want))
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -61,10 +63,21 @@ type ParOptions struct {
 	// snapshot reader (mutable canonical graphs are planned per run either
 	// way).
 	Plans *match.PlanCache
+	// Ctx, when non-nil, cancels the run cooperatively: workers check it at
+	// unit boundaries, idle workers blocked on the steal condition variable
+	// are woken, and in-flight match enumerations stop within a bounded
+	// number of frame expansions (match.Options.Ctx). A cancelled run
+	// returns the stats of the work it finished plus ErrCanceled (or
+	// context.DeadlineExceeded when a deadline fired) in the result's Err
+	// field; it never leaks a goroutine. Nil runs without cancellation.
+	Ctx context.Context
 	// unitDepCap bounds the number of units for which the quadratic
 	// unit-level dependency graph is built; beyond it the coarser GFD-level
 	// topological order ranks units. 0 means the default.
 	unitDepCap int
+	// testHookUnitStart, when non-nil, runs at the top of every work unit —
+	// the seam the panic-isolation tests use to detonate inside a worker.
+	testHookUnitStart func(gfd int, pivot graph.NodeID)
 }
 
 // DefaultParOptions returns the configuration used by the experiments
@@ -100,6 +113,12 @@ const (
 	evGoal
 	evSplit
 	evFinalized
+	// evCanceled is injected by the context watcher so a coordinator blocked
+	// on the event channel observes cancellation promptly.
+	evCanceled
+	// evPanic is emitted after a worker (or producer) panic was recovered
+	// and recorded; the coordinator fails the run with the recorded error.
+	evPanic
 )
 
 type cevent struct {
@@ -145,6 +164,79 @@ type parEngine struct {
 	log     *cluster.Log
 	steal   *stealState[unit] // non-nil on work-stealing runs
 	stopped atomic.Bool
+
+	// ctx is the run's context (never nil once run() starts; Background
+	// when ParOptions.Ctx is nil). events is the coordinator's channel,
+	// stored so recordPanic can reach the coordinator from any goroutine.
+	ctx    context.Context
+	events chan cevent
+	// failMu guards fail, the first run-ending failure (a worker panic).
+	failMu sync.Mutex
+	fail   error
+}
+
+// recordPanic converts a recovered panic into the run's failure: first one
+// wins, siblings are told to stop (flag + condvar wake), and the coordinator
+// is notified. The event send can block only while the coordinator is still
+// draining (finishRun drains until every worker has exited, and the sender's
+// goroutine exit strictly follows this send), so it never deadlocks.
+func (e *parEngine) recordPanic(worker int, v any) {
+	pe := &PanicError{Worker: worker, Value: v, Stack: debug.Stack()}
+	e.failMu.Lock()
+	if e.fail == nil {
+		e.fail = pe
+	}
+	e.failMu.Unlock()
+	e.stopped.Store(true)
+	if st := e.steal; st != nil {
+		st.wake()
+	}
+	e.events <- cevent{kind: evPanic, worker: worker}
+}
+
+// failure returns the error the run must end with, if any: a recorded
+// worker panic wins over plain context cancellation. Coordinators call it
+// both on failure events and before concluding quiescent success, so a
+// worker that abandoned units because stopped was set can never be
+// mistaken for a worker that finished them.
+func (e *parEngine) failure() error {
+	e.failMu.Lock()
+	f := e.fail
+	e.failMu.Unlock()
+	if f != nil {
+		return f
+	}
+	if err := e.ctx.Err(); err != nil {
+		return canceledErr(err)
+	}
+	return nil
+}
+
+// watchCancel spawns the goroutine that propagates context cancellation
+// into the run: set the stop flag, wake condvar-blocked idle workers, and
+// nudge the coordinator off its event-channel read. The returned stop
+// function (always non-nil) releases the watcher; a context that can never
+// fire needs no goroutine at all.
+func (e *parEngine) watchCancel() func() {
+	if e.ctx.Done() == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-e.ctx.Done():
+			e.stopped.Store(true)
+			if st := e.steal; st != nil {
+				st.wake()
+			}
+			select {
+			case e.events <- cevent{kind: evCanceled}:
+			case <-stop:
+			}
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
 }
 
 // stealState is the scheduling state shared by the work-stealing executor's
@@ -405,10 +497,20 @@ func (e *parEngine) rankUnits() {
 // run executes the protocol and returns the first conflict (satisfiability
 // failure / implication success), whether the goal was reached (implication
 // by deduction), the converged relation (quiescent runs only; nil after
-// early termination), and aggregate stats. The scheduling strategy is
-// selected by Options.Stealing; both executors share the unit semantics,
-// the broadcast log and the finalize protocol, and decide identically.
-func (e *parEngine) run() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats) {
+// early termination), and aggregate stats. A non-nil error means the run
+// ended without an answer — cancellation (ErrCanceled or the context's
+// deadline error) or a worker panic (*PanicError) — with stats covering the
+// work completed up to that point. The scheduling strategy is selected by
+// Options.Stealing; both executors share the unit semantics, the broadcast
+// log and the finalize protocol, and decide identically.
+func (e *parEngine) run() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats, err error) {
+	e.ctx = e.opt.Ctx
+	if e.ctx == nil {
+		e.ctx = context.Background()
+	}
+	if cerr := e.ctx.Err(); cerr != nil {
+		return nil, false, nil, Stats{}, canceledErr(cerr)
+	}
 	if e.opt.Stealing {
 		return e.runStealing()
 	}
@@ -422,12 +524,24 @@ func (e *parEngine) spawnWorkers(p int, entry func(*parWorker)) (events chan cev
 	assign = make([]chan wmsg, p)
 	workers = make([]*parWorker, p)
 	wg = &sync.WaitGroup{}
+	e.events = events
 	for i := 0; i < p; i++ {
 		assign[i] = make(chan wmsg, 8)
 		workers[i] = newParWorker(i, e, events, assign[i])
 		wg.Add(1)
 		go func(w *parWorker) {
 			defer wg.Done()
+			// Panic isolation: a panic anywhere in this worker's unit
+			// execution (e.g. a stale-overlay read) is recovered here,
+			// recorded as the run's *PanicError, and stops the siblings —
+			// the run fails cleanly instead of crashing the process. The
+			// recover runs before wg.Done (defers are LIFO), so finishRun
+			// is still draining events when recordPanic sends.
+			defer func() {
+				if r := recover(); r != nil {
+					e.recordPanic(w.id, r)
+				}
+			}()
 			entry(w)
 		}(workers[i])
 	}
@@ -437,7 +551,7 @@ func (e *parEngine) spawnWorkers(p int, entry func(*parWorker)) (events chan cev
 // finishRun stops every worker, drains stray events so none blocks on its
 // way out, and aggregates stats.
 func (e *parEngine) finishRun(events chan cevent, assign []chan wmsg, workers []*parWorker, wg *sync.WaitGroup,
-	c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats) {
+	c *eq.Conflict, goal bool, fin *eq.Eq, err error) (*eq.Conflict, bool, *eq.Eq, Stats, error) {
 	e.stopped.Store(true)
 	if e.steal != nil {
 		e.steal.wake()
@@ -464,20 +578,21 @@ func (e *parEngine) finishRun(events chan cevent, assign []chan wmsg, workers []
 	}
 	st.Broadcasts = e.log.Appends()
 	st.DeltaOps = e.log.Len()
-	return c, goal, fin, st
+	return c, goal, fin, st, err
 }
 
 // runCentral is the single-global-queue executor: the coordinator owns a
 // priority queue of every unit, feeds idle workers in small batches, and
 // receives split sub-units back over the event channel. Kept as the
 // scheduling baseline the work-stealing executor is benchmarked against.
-func (e *parEngine) runCentral() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats) {
+func (e *parEngine) runCentral() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats, err error) {
 	p := e.opt.Workers
 	if p < 1 {
 		p = 1
 	}
 	e.log = cluster.NewLog()
 	events, assign, workers, wg := e.spawnWorkers(p, func(w *parWorker) { w.loop() })
+	defer e.watchCancel()()
 
 	// Coordinator.
 	queue := cluster.NewQueue[unit]()
@@ -525,18 +640,28 @@ func (e *parEngine) runCentral() (con *eq.Conflict, goalHit bool, final *eq.Eq, 
 		}
 		return true
 	}
-	finish := func(c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats) {
-		return e.finishRun(events, assign, workers, wg, c, goal, fin)
+	finish := func(c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats, error) {
+		return e.finishRun(events, assign, workers, wg, c, goal, fin, nil)
+	}
+	fail := func(err error) (*eq.Conflict, bool, *eq.Eq, Stats, error) {
+		return e.finishRun(events, assign, workers, wg, nil, false, nil, err)
 	}
 
 	feed()
 	// Main loop: dispatch until the queue drains and every worker idles,
-	// then run finalize rounds until the broadcast log is quiescent.
+	// then run finalize rounds until the broadcast log is quiescent. Every
+	// quiescence conclusion re-checks failure() first: once stopped is set a
+	// worker abandons its remaining units, so an apparently idle fleet may
+	// hold an incomplete run that must surface as an error, never as an
+	// answer.
 	finalizing := false
 	finalizeReplies := 0
 	finalizeBase := 0
 	for {
 		if !finalizing && queue.Len() == 0 && allIdle() {
+			if err := e.failure(); err != nil {
+				return fail(err)
+			}
 			finalizing = true
 			finalizeReplies = 0
 			finalizeBase = e.log.Len()
@@ -546,6 +671,8 @@ func (e *parEngine) runCentral() (con *eq.Conflict, goalHit bool, final *eq.Eq, 
 		}
 		ev := <-events
 		switch ev.kind {
+		case evCanceled, evPanic:
+			return fail(e.failure())
 		case evConflict:
 			return finish(workers[ev.worker].enf.conflict(), false, nil)
 		case evGoal:
@@ -585,7 +712,7 @@ func (e *parEngine) runCentral() (con *eq.Conflict, goalHit bool, final *eq.Eq, 
 // by an idle peer — instead of round-tripping through a coordinator. The
 // run()-side goroutine only handles lifecycle: early termination and the
 // finalize rounds once every unit has retired.
-func (e *parEngine) runStealing() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats) {
+func (e *parEngine) runStealing() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats, err error) {
 	p := e.opt.Workers
 	if p < 1 {
 		p = 1
@@ -612,8 +739,12 @@ func (e *parEngine) runStealing() (con *eq.Conflict, goalHit bool, final *eq.Eq,
 		w.events <- cevent{kind: evDone, worker: w.id}
 		w.loop()
 	})
-	finish := func(c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats) {
-		return e.finishRun(events, assign, workers, wg, c, goal, fin)
+	defer e.watchCancel()()
+	finish := func(c *eq.Conflict, goal bool, fin *eq.Eq) (*eq.Conflict, bool, *eq.Eq, Stats, error) {
+		return e.finishRun(events, assign, workers, wg, c, goal, fin, nil)
+	}
+	fail := func(err error) (*eq.Conflict, bool, *eq.Eq, Stats, error) {
+		return e.finishRun(events, assign, workers, wg, nil, false, nil, err)
 	}
 
 	beginFinalize := func() int {
@@ -629,6 +760,8 @@ func (e *parEngine) runStealing() (con *eq.Conflict, goalHit bool, final *eq.Eq,
 	for {
 		ev := <-events
 		switch ev.kind {
+		case evCanceled, evPanic:
+			return fail(e.failure())
 		case evConflict:
 			return finish(workers[ev.worker].enf.conflict(), false, nil)
 		case evGoal:
@@ -636,9 +769,14 @@ func (e *parEngine) runStealing() (con *eq.Conflict, goalHit bool, final *eq.Eq,
 		case evDone:
 			phaseDone++
 			if phaseDone == p {
-				// Every unit retired (splits included: a split raises pending
-				// before its parent's retirement can lower it). Run finalize
-				// rounds until the broadcast log is quiescent.
+				// Every worker left the work phase — either every unit retired
+				// (splits included: a split raises pending before its parent's
+				// retirement can lower it) or the run was stopped and units
+				// were abandoned. Only the former may proceed to finalize; the
+				// latter must surface as the run's failure.
+				if err := e.failure(); err != nil {
+					return fail(err)
+				}
 				finalizeReplies = 0
 				finalizeBase = beginFinalize()
 			}
@@ -770,6 +908,9 @@ func (w *parWorker) finalize() bool {
 // with TTL splitting, enforcing the unit's GFD at each match.
 func (w *parWorker) runUnit(u unit) {
 	w.enf.stats.UnitsRun++
+	if h := w.eng.opt.testHookUnitStart; h != nil {
+		h(u.gfd, u.pivot)
+	}
 	if !w.catchUp() {
 		return
 	}
@@ -793,7 +934,9 @@ func (w *parWorker) runUnit(u unit) {
 	if sim := eng.sims[u.gfd]; sim != nil {
 		filter = sim.Has
 	}
-	s := match.NewSearch(p, eng.g, match.Options{Order: eng.orders[u.gfd], Seed: seed, Filter: filter, Plan: eng.plans[u.gfd]})
+	// The run's context rides into the enumeration so even one huge unit
+	// stops within a bounded number of frame expansions after cancellation.
+	s := match.NewSearch(p, eng.g, match.Options{Order: eng.orders[u.gfd], Seed: seed, Filter: filter, Plan: eng.plans[u.gfd], Ctx: eng.opt.Ctx})
 
 	if eng.opt.Pipeline {
 		w.runPipelined(u, phi, s)
@@ -841,10 +984,25 @@ func (w *parWorker) runPipelined(u unit, phi *gfd.GFD, s *match.Search) {
 	}
 
 	matches := make(chan match.Assignment, 64)
+	// prodStop releases a producer blocked on a send if the consumer loop
+	// below exits abnormally (a panic unwinding through this frame): without
+	// it the producer goroutine would block forever once the channel buffer
+	// fills with no reader left. The normal path drains matches to the close,
+	// so closing prodStop afterwards is a no-op.
+	prodStop := make(chan struct{})
+	defer close(prodStop)
 	var stop atomic.Bool
 	var split []match.Assignment
 	go func() {
 		defer close(matches)
+		// The producer is its own goroutine, outside the worker's recover
+		// guard: a panic inside the search (s.Next) must be recorded here or
+		// it would crash the process.
+		defer func() {
+			if r := recover(); r != nil {
+				w.eng.recordPanic(w.id, r)
+			}
+		}()
 		for {
 			if stop.Load() || w.eng.stopped.Load() {
 				return
@@ -859,7 +1017,11 @@ func (w *parWorker) runPipelined(u unit, phi *gfd.GFD, s *match.Search) {
 			if !ok {
 				return
 			}
-			matches <- h
+			select {
+			case matches <- h:
+			case <-prodStop:
+				return
+			}
 		}
 	}()
 	ok := true

@@ -30,8 +30,10 @@ func ParImp(set *gfd.Set, phi *gfd.GFD, opt ParOptions) *ImpResult {
 	// Eq_X — they fire immediately on G^X_Q (Section VI-C(a)).
 	eng.high = func(gi int) bool { return xSubsumedByEqX(set.GFDs[gi], cp.EqX) }
 	eng.buildUnits()
-	con, goalHit, _, stats := eng.run()
+	con, goalHit, _, stats, err := eng.run()
 	switch {
+	case err != nil:
+		return &ImpResult{Err: err, Stats: stats}
 	case con != nil:
 		return &ImpResult{Implied: true, Reason: ImpliedByConflict, Stats: stats}
 	case goalHit:

@@ -21,7 +21,10 @@ func ParSat(set *gfd.Set, opt ParOptions) *SatResult {
 	cs := canon.BuildSigma(set)
 	eng := &parEngine{opt: opt, set: set, g: cs.Graph}
 	eng.buildUnits()
-	con, _, final, stats := eng.run()
+	con, _, final, stats, err := eng.run()
+	if err != nil {
+		return &SatResult{Err: err, Stats: stats}
+	}
 	if con != nil {
 		return &SatResult{Satisfiable: false, Conflict: con, Stats: stats}
 	}

@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -34,6 +36,17 @@ type RevalidateOptions struct {
 	// against the same epoch-carrying snapshot; a fresh Overlay per call
 	// carries a fresh epoch and is planned per call.
 	Plans *match.PlanCache
+	// Ctx, when non-nil, cancels the revalidation cooperatively: checked
+	// between GFDs, inside each GFD's re-enumeration (match.Options.Ctx),
+	// and by condvar-blocked idle workers on the parallel path. A cancelled
+	// call returns ErrCanceled (or the context's deadline error) with the
+	// stats of the work it finished; the violations slice is meaningless
+	// then. Nil runs without cancellation.
+	Ctx context.Context
+	// testHookGFDStart, when non-nil, runs as each GFD's revalidation task
+	// starts — the seam the panic-isolation tests use to detonate inside a
+	// worker.
+	testHookGFDStart func(gi int)
 }
 
 // RevalidateStats counts the work an incremental revalidation performed;
@@ -66,8 +79,17 @@ func (s *RevalidateStats) add(other RevalidateStats) {
 // confined to touched works). The result equals Violations(updated, Σ),
 // violation for violation in the same order, which the equivalence tests
 // pin.
-func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID, prev []Violation, opt RevalidateOptions) ([]Violation, RevalidateStats) {
+//
+// A non-nil error means the call ended without a result: cancellation
+// through Options.Ctx (ErrCanceled or the context's deadline error) or a
+// panic inside a parallel worker (*PanicError). Stats still covers the work
+// completed; the violations slice is nil.
+func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID, prev []Violation, opt RevalidateOptions) ([]Violation, RevalidateStats, error) {
 	var stats RevalidateStats
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := set.Len()
 	stats.GFDs = n
 	prevBy := make(map[*gfd.GFD][]Violation, n)
@@ -81,6 +103,9 @@ func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID,
 	// and matches born in the latter.
 	hoods := make(map[int]map[graph.NodeID]bool)
 	for _, phi := range set.GFDs {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, canceledErr(err)
+		}
 		p := phi.Pattern
 		if !p.Connected() || p.NumVars() == 0 {
 			continue
@@ -97,9 +122,20 @@ func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID,
 	}
 
 	results := make([][]Violation, n)
-	run := func(gi int, st *RevalidateStats) {
+	run := func(gi int, st *RevalidateStats) error {
+		if h := opt.testHookGFDStart; h != nil {
+			h(gi)
+		}
+		if err := ctx.Err(); err != nil {
+			return canceledErr(err)
+		}
 		phi := set.GFDs[gi]
-		results[gi] = revalidateGFD(phi, updated, hoods, prevBy[phi], opt.Plans, st)
+		vs, err := revalidateGFD(phi, updated, hoods, prevBy[phi], opt.Plans, opt.Ctx, st)
+		if err != nil {
+			return err
+		}
+		results[gi] = vs
+		return nil
 	}
 	workers := opt.Workers
 	if workers > n {
@@ -107,7 +143,9 @@ func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID,
 	}
 	if workers <= 1 {
 		for gi := 0; gi < n; gi++ {
-			run(gi, &stats)
+			if err := run(gi, &stats); err != nil {
+				return nil, stats, err
+			}
 		}
 	} else {
 		st := newStealState[int](workers)
@@ -116,37 +154,93 @@ func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID,
 			st.deques[gi%workers].PushBack(gi)
 		}
 		perStats := make([]RevalidateStats, workers)
-		never := func() bool { return false }
+		// First failure wins: a worker that errors (or recovers a panic)
+		// records it and wakes the condvar so idle peers observe stop
+		// instead of sleeping on it.
+		var failMu sync.Mutex
+		var fail error
+		setFail := func(err error) {
+			failMu.Lock()
+			if fail == nil {
+				fail = err
+			}
+			failMu.Unlock()
+			st.wake()
+		}
+		stop := func() bool {
+			failMu.Lock()
+			failed := fail != nil
+			failMu.Unlock()
+			return failed || ctx.Err() != nil
+		}
+		// Workers blocked in the condvar re-check stop only when woken;
+		// propagate context cancellation into a wake.
+		var watchStop chan struct{}
+		if ctx.Done() != nil {
+			watchStop = make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+					st.wake()
+				case <-watchStop:
+				}
+			}()
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
+				// Panic isolation, mirroring the reasoning engines: a panic
+				// in one revalidation task fails the call with the stack
+				// instead of crashing the process.
+				defer func() {
+					if r := recover(); r != nil {
+						setFail(&PanicError{Worker: id, Value: r, Stack: debug.Stack()})
+					}
+				}()
 				for {
-					gi, ok := st.take(id, never, &perStats[id].UnitsStolen)
+					gi, ok := st.take(id, stop, &perStats[id].UnitsStolen)
 					if !ok {
 						return
 					}
-					run(gi, &perStats[id])
+					if err := run(gi, &perStats[id]); err != nil {
+						setFail(err)
+						return
+					}
 					st.finishUnit()
 				}
 			}(w)
 		}
 		wg.Wait()
+		if watchStop != nil {
+			close(watchStop)
+		}
 		for _, s := range perStats {
 			stats.add(s)
+		}
+		failMu.Lock()
+		err := fail
+		failMu.Unlock()
+		if err == nil && st.pending.Load() != 0 {
+			// Tasks were abandoned; the only way take reports quiescence
+			// with work outstanding is the stop predicate, i.e. the context.
+			err = canceledErr(ctx.Err())
+		}
+		if err != nil {
+			return nil, stats, err
 		}
 	}
 	var out []Violation
 	for _, vs := range results {
 		out = append(out, vs...)
 	}
-	return out, stats
+	return out, stats, nil
 }
 
 // RevalidateDelta is Revalidate against a delta's own base, overlay and
 // touched set — the one-call form for the Graph → Freeze → Delta lifecycle.
-func RevalidateDelta(set *gfd.Set, d *graph.Delta, prev []Violation, opt RevalidateOptions) ([]Violation, RevalidateStats) {
+func RevalidateDelta(set *gfd.Set, d *graph.Delta, prev []Violation, opt RevalidateOptions) ([]Violation, RevalidateStats, error) {
 	return Revalidate(set, d.Base(), d.Overlay(), d.TouchedNodes(), prev, opt)
 }
 
@@ -156,7 +250,7 @@ func RevalidateDelta(set *gfd.Set, d *graph.Delta, prev []Violation, opt Revalid
 // re-enumeration — a match of such a pattern is a cross product of
 // independent component matches, so a change in any component invalidates
 // combinations whose root component lies arbitrarily far from the delta.
-func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.NodeID]bool, prev []Violation, plans *match.PlanCache, st *RevalidateStats) []Violation {
+func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.NodeID]bool, prev []Violation, plans *match.PlanCache, ctx context.Context, st *RevalidateStats) ([]Violation, error) {
 	p := phi.Pattern
 	var plan *match.Plan
 	order := match.DefaultOrder(p)
@@ -165,7 +259,7 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 		order = plan.DefaultOrder()
 	}
 	if len(order) == 0 {
-		return nil
+		return nil, nil
 	}
 	var out []Violation
 	violates := func(h match.Assignment) bool {
@@ -173,11 +267,14 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 	}
 	if !p.Connected() {
 		st.Full++
-		s := match.NewSearch(p, updated, match.Options{Plan: plan})
+		s := match.NewSearch(p, updated, match.Options{Plan: plan, Ctx: ctx})
 		for {
 			h, ok := s.Next()
 			if !ok {
-				return out
+				if err := s.Err(); err != nil {
+					return nil, canceledErr(err)
+				}
+				return out, nil
 			}
 			st.Reenumerated++
 			if violates(h) {
@@ -195,10 +292,13 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 		}
 	}
 	if cands := match.ScopedRootCandidates(p, updated, order, hood); len(cands) > 0 {
-		s := match.NewSearch(p, updated, match.Options{RootCandidates: cands, Plan: plan})
+		s := match.NewSearch(p, updated, match.Options{RootCandidates: cands, Plan: plan, Ctx: ctx})
 		for {
 			h, ok := s.Next()
 			if !ok {
+				if err := s.Err(); err != nil {
+					return nil, canceledErr(err)
+				}
 				break
 			}
 			st.Reenumerated++
@@ -213,7 +313,7 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 	// search frame iterates an ascending candidate list), so one sort
 	// restores full-Violations order.
 	sortViolationsByOrder(out, order)
-	return out
+	return out, nil
 }
 
 // sortViolationsByOrder sorts violations of one pattern lexicographically

@@ -39,11 +39,17 @@ func checkRevalidate(t *testing.T, ctx string, set *gfd.Set, base *graph.Frozen,
 	t.Helper()
 	overlay := d.Overlay()
 	want := Violations(overlay, set)
-	got, stats := RevalidateDelta(set, d, prev, RevalidateOptions{})
+	got, stats, err := RevalidateDelta(set, d, prev, RevalidateOptions{})
+	if err != nil {
+		t.Fatalf("%s: sequential revalidate: %v", ctx, err)
+	}
 	if !violationsEqual(got, want) {
 		t.Fatalf("%s: sequential revalidate diverges: got %d violations, want %d", ctx, len(got), len(want))
 	}
-	gotPar, _ := RevalidateDelta(set, d, prev, RevalidateOptions{Workers: 4})
+	gotPar, _, err := RevalidateDelta(set, d, prev, RevalidateOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("%s: parallel revalidate: %v", ctx, err)
+	}
 	if !violationsEqual(gotPar, want) {
 		t.Fatalf("%s: parallel revalidate diverges: got %d violations, want %d", ctx, len(gotPar), len(want))
 	}
@@ -52,7 +58,10 @@ func checkRevalidate(t *testing.T, ctx string, set *gfd.Set, base *graph.Frozen,
 	if !violationsEqual(wantF, want) {
 		t.Fatalf("%s: refrozen full recompute diverges from overlay recompute", ctx)
 	}
-	gotF, _ := Revalidate(set, base, refrozen, d.TouchedNodes(), prev, RevalidateOptions{})
+	gotF, _, err := Revalidate(set, base, refrozen, d.TouchedNodes(), prev, RevalidateOptions{})
+	if err != nil {
+		t.Fatalf("%s: revalidate against refrozen snapshot: %v", ctx, err)
+	}
 	if !violationsEqual(gotF, wantF) {
 		t.Fatalf("%s: revalidate against refrozen snapshot diverges", ctx)
 	}
@@ -167,7 +176,10 @@ func TestRevalidateDisconnected(t *testing.T) {
 	d.SetAttr(cs[1], "k", "v")
 
 	want := Violations(d.Overlay(), set)
-	got, stats := RevalidateDelta(set, d, prev, RevalidateOptions{})
+	got, stats, err := RevalidateDelta(set, d, prev, RevalidateOptions{})
+	if err != nil {
+		t.Fatalf("disconnected revalidate: %v", err)
+	}
 	if !violationsEqual(got, want) {
 		t.Fatalf("disconnected revalidate diverges: got %d, want %d", len(got), len(want))
 	}
@@ -190,7 +202,10 @@ func TestRevalidateStolenUnits(t *testing.T) {
 	want := Violations(d.Overlay(), set)
 	stolen := 0
 	for try := 0; try < 8; try++ {
-		got, stats := RevalidateDelta(set, d, prev, RevalidateOptions{Workers: 8})
+		got, stats, err := RevalidateDelta(set, d, prev, RevalidateOptions{Workers: 8})
+		if err != nil {
+			t.Fatalf("try %d: parallel revalidate: %v", try, err)
+		}
 		if !violationsEqual(got, want) {
 			t.Fatalf("try %d: parallel revalidate diverges", try)
 		}

@@ -14,6 +14,11 @@ type ImpResult struct {
 	// Reason distinguishes how implication was established.
 	Reason ImpReason
 	Stats  Stats
+	// Err is non-nil when a parallel run ended before reaching an answer:
+	// ErrCanceled or the context's deadline error after ParOptions.Ctx
+	// fired, or a *PanicError when a worker panicked. Implied and Reason
+	// are meaningless then; Stats covers the work completed.
+	Err error
 }
 
 // ImpReason says why Σ |= φ holds (or doesn't).

@@ -19,6 +19,11 @@ type SatResult struct {
 	// satisfiable; nil otherwise.
 	Model *graph.Graph
 	Stats Stats
+	// Err is non-nil when a parallel run ended before reaching an answer:
+	// ErrCanceled or the context's deadline error after ParOptions.Ctx
+	// fired, or a *PanicError when a worker panicked. Satisfiable, Conflict
+	// and Model are meaningless then; Stats covers the work completed.
+	Err error
 }
 
 // SeqSat decides whether Σ is satisfiable (Section IV-C).

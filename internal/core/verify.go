@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/gfd"
 	"repro/internal/graph"
 	"repro/internal/match"
@@ -36,12 +38,29 @@ func Satisfies(g graph.Reader, set *gfd.Set) (bool, *Violation) {
 // Violations enumerates every violation of Σ in G (error detection /
 // inconsistency catching, the paper's motivating application).
 func Violations(g graph.Reader, set *gfd.Set) []Violation {
+	// A background context never fires, so the error path is unreachable.
+	out, _ := ViolationsCtx(context.Background(), g, set)
+	return out
+}
+
+// ViolationsCtx is Violations under a deadline: the enumeration polls ctx
+// between GFDs and every few hundred match-frame expansions, returning
+// ErrCanceled or the context's deadline error (and whatever violations were
+// already found) once it fires. The checker commands use it to bound
+// validation over large graphs.
+func ViolationsCtx(ctx context.Context, g graph.Reader, set *gfd.Set) ([]Violation, error) {
 	var out []Violation
 	for _, phi := range set.GFDs {
-		s := match.NewSearch(phi.Pattern, g, match.Options{})
+		if err := ctx.Err(); err != nil {
+			return out, canceledErr(err)
+		}
+		s := match.NewSearch(phi.Pattern, g, match.Options{Ctx: ctx})
 		for {
 			h, ok := s.Next()
 			if !ok {
+				if err := s.Err(); err != nil {
+					return out, canceledErr(err)
+				}
 				break
 			}
 			if holdsLiterals(g, h, phi.X) && !holdsLiterals(g, h, phi.Y) {
@@ -49,7 +68,7 @@ func Violations(g graph.Reader, set *gfd.Set) []Violation {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // holdsLiterals evaluates a literal set at a match against G's actual

@@ -1,0 +1,81 @@
+// The atomic snapshot store: WriteSnapshotAtomic is how tools persist a
+// snapshot image to a path that may already hold the previous image. The
+// protocol is the standard crash-safe rewrite — temp file in the target's
+// directory, write, fsync, close, rename over the target, fsync the
+// directory — so a crash or I/O failure at any step leaves either the old
+// complete image or the new complete image at the path, never a torn one,
+// and the rename itself is durable (a rename that only lives in the dirty
+// directory cache can be undone by a crash).
+package gfdio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// syncWriter is what the store writes the image through: the temp file, or
+// a fault-injecting wrapper in the tests.
+type syncWriter interface {
+	io.Writer
+	Sync() error
+}
+
+// storeDest wraps the temp file WriteSnapshotAtomic writes through. The
+// fault-injection tests swap it to thread a failing writer underneath and
+// sweep the fault across every write and sync of the store protocol.
+var storeDest = func(f *os.File) syncWriter { return f }
+
+// WriteSnapshotAtomic writes g's snapshot image to path, replacing any
+// previous image atomically: on any error the target is untouched (still
+// the old image, still loadable) and the temp file is removed. The returned
+// error wraps the failing operation's error.
+func WriteSnapshotAtomic(path string, g *graph.Frozen) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".gfdsnap-*")
+	if err != nil {
+		return fmt.Errorf("gfdio: snapshot store: %w", err)
+	}
+	name := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(name)
+		}
+	}()
+	dest := storeDest(tmp)
+	if werr := WriteSnapshot(dest, g); werr != nil {
+		return fmt.Errorf("gfdio: snapshot store: write %s: %w", path, werr)
+	}
+	// Sync before rename: the image's bytes must be durable before the
+	// rename can expose them as the store.
+	if serr := dest.Sync(); serr != nil {
+		return fmt.Errorf("gfdio: snapshot store: sync %s: %w", path, serr)
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		return fmt.Errorf("gfdio: snapshot store: close %s: %w", path, cerr)
+	}
+	if rerr := os.Rename(name, path); rerr != nil {
+		return fmt.Errorf("gfdio: snapshot store: %w", rerr)
+	}
+	if derr := syncDir(dir); derr != nil {
+		return fmt.Errorf("gfdio: snapshot store: sync dir: %w", derr)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,83 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWriterFailAt(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 1}
+	if _, err := w.Write([]byte("ab")); err != nil {
+		t.Fatalf("op 0 should pass: %v", err)
+	}
+	if _, err := w.Write([]byte("cd")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 1 should fail injected, got %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ops after the fault must keep failing, got %v", err)
+	}
+	if got := buf.String(); got != "ab" {
+		t.Fatalf("failed ops must deliver nothing: disk holds %q", got)
+	}
+	if w.Ops != 3 || !w.Failed {
+		t.Fatalf("op accounting: Ops=%d Failed=%v", w.Ops, w.Failed)
+	}
+}
+
+func TestWriterShort(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 0, Short: true}
+	if _, err := w.Write([]byte("abcd")); !errors.Is(err, ErrInjected) {
+		t.Fatal("short write must still report the fault")
+	}
+	if got := buf.String(); got != "ab" {
+		t.Fatalf("short write should deliver half, disk holds %q", got)
+	}
+	// Only the first failing op is short; later ones deliver nothing.
+	if _, err := w.Write([]byte("efgh")); !errors.Is(err, ErrInjected) {
+		t.Fatal("second failing op must fail")
+	}
+	if got := buf.String(); got != "ab" {
+		t.Fatalf("second failing op must deliver nothing, disk holds %q", got)
+	}
+}
+
+func TestWriterNeverFails(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: -1}
+	if _, err := w.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Ops != 2 || w.Failed {
+		t.Fatalf("counting run: Ops=%d Failed=%v", w.Ops, w.Failed)
+	}
+}
+
+func TestReaderBudget(t *testing.T) {
+	r := &Reader{R: strings.NewReader("abcdef"), Limit: 4}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read past the budget must fail injected, got %v", err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("bytes within the budget must pass through, got %q", got)
+	}
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatal("reads after the fault must keep failing")
+	}
+}
+
+func TestReaderSourceEndsFirst(t *testing.T) {
+	r := &Reader{R: strings.NewReader("ab"), Limit: 10}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "ab" {
+		t.Fatalf("EOF inside the budget passes through: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/graph/faultio"
+)
+
+// TestSnapshotWriteFaultEveryOp fails every op of WriteSnapshot's destination
+// stream (header write, payload write, with and without a torn half-delivered
+// write): the error must surface, and whatever bytes made it out must never
+// load as a snapshot — a torn image is detected, not silently accepted.
+func TestSnapshotWriteFaultEveryOp(t *testing.T) {
+	f := walFixtureBase()
+
+	counting := &faultio.Writer{W: io.Discard, FailAt: -1}
+	if err := f.WriteSnapshot(counting); err != nil {
+		t.Fatalf("counting run: %v", err)
+	}
+	if counting.Ops == 0 {
+		t.Fatal("counting run saw no destination ops; sweep is vacuous")
+	}
+
+	for failAt := 0; failAt < counting.Ops; failAt++ {
+		for _, short := range []bool{false, true} {
+			var buf bytes.Buffer
+			fw := &faultio.Writer{W: &buf, FailAt: failAt, Short: short}
+			err := f.WriteSnapshot(fw)
+			if !errors.Is(err, faultio.ErrInjected) {
+				t.Fatalf("failAt=%d short=%v: WriteSnapshot = %v, want injected fault", failAt, short, err)
+			}
+			if _, rerr := ReadSnapshot(bytes.NewReader(buf.Bytes())); rerr == nil {
+				t.Fatalf("failAt=%d short=%v: torn %d-byte image loaded as a valid snapshot", failAt, short, buf.Len())
+			}
+		}
+	}
+}
+
+// TestSnapshotReadFaultEveryByte fails the snapshot read at every byte
+// offset of a valid image: ReadSnapshot must return an error wrapping the
+// injected fault — never a panic, never a partially-loaded graph.
+func TestSnapshotReadFaultEveryByte(t *testing.T) {
+	f := walFixtureBase()
+	var img bytes.Buffer
+	if err := f.WriteSnapshot(&img); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	for limit := 0; limit < img.Len(); limit++ {
+		g, err := ReadSnapshot(&faultio.Reader{R: bytes.NewReader(img.Bytes()), Limit: int64(limit)})
+		if err == nil {
+			t.Fatalf("limit=%d: a mid-image read fault must be an error", limit)
+		}
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("limit=%d: error %v does not wrap the injected fault", limit, err)
+		}
+		if g != nil {
+			t.Fatalf("limit=%d: failed load returned a graph", limit)
+		}
+	}
+
+	// The unfaulted image still round-trips.
+	g, err := ReadSnapshot(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
+	checkReaderEquivalence(t, "snapshot after fault sweep", f, g,
+		[]string{"a", "b"}, []string{"e", "f"})
+}

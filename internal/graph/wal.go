@@ -422,12 +422,19 @@ func applyRecord(d *Delta, payload []byte, idx int) error {
 	return nil
 }
 
+// walOpenForRecover is RecoverFile's file-open seam. Production code opens
+// the log with os.Open; the fault-injection tests swap it for a wrapper
+// that injects read errors (EIO mid-record), proving such a failure
+// surfaces as an error — never as a panic, and never as a truncating
+// "repair" that would cut records a healthy retry could still read.
+var walOpenForRecover = func(path string) (io.ReadCloser, error) { return os.Open(path) }
+
 // RecoverFile replays the log file over the base and, when the log carries a
 // torn or corrupt tail, truncates the file to the valid prefix so a new WAL
 // can append after it. A missing file recovers to an empty delta (nothing
 // was ever logged).
 func RecoverFile(base *Frozen, path string) (*Delta, RecoverStats, error) {
-	f, err := os.Open(path)
+	f, err := walOpenForRecover(path)
 	if os.IsNotExist(err) {
 		return NewDelta(base), RecoverStats{}, nil
 	}

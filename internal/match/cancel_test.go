@@ -1,0 +1,97 @@
+package match
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSearchCanceledBeforeStart pins the entry check: a search handed an
+// already-canceled context yields nothing and reports the context's error.
+func TestSearchCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSearch(edgePattern("n", "n", "e"), triangleData(), Options{Ctx: ctx})
+	if _, ok := s.Next(); ok {
+		t.Fatal("canceled search produced a match")
+	}
+	if err := s.Err(); err != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	// Once fired, the search is permanently exhausted.
+	if _, ok := s.Next(); ok {
+		t.Fatal("canceled search resumed")
+	}
+}
+
+// TestSearchCancelBetweenMatches cancels after the first match: the next
+// Next call observes the context at entry and ends the enumeration.
+func TestSearchCancelBetweenMatches(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSearch(edgePattern("n", "n", "e"), triangleData(), Options{Ctx: ctx})
+	if _, ok := s.Next(); !ok {
+		t.Fatal("triangle has matches; first Next came up empty")
+	}
+	cancel()
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next after cancel produced a match")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err not set after cancel")
+	}
+}
+
+// countdownCtx is a context whose Err starts firing after a fixed number of
+// polls, making the in-loop cancellation check deterministic to hit: the
+// entry check passes, then a long candidate scan crosses the poll budget.
+type countdownCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls--; c.polls < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSearchCancelMidScan pins the budgeted in-loop check: a single Next
+// call scanning far more than ctxCheckEvery candidates must notice a cancel
+// that fires mid-scan, without waiting for the scan to end.
+func TestSearchCancelMidScan(t *testing.T) {
+	// ~3x ctxCheckEvery isolated candidates and no edges: one Next call
+	// scans them all and would return ok=false with no error — unless the
+	// in-loop check fires first. Scan mode keeps the doomed candidates in
+	// the frame (the indexed path's signature pruning would drop them all
+	// before the loop ever ran).
+	g := graph.New()
+	for i := 0; i < 3*ctxCheckEvery; i++ {
+		g.AddNode("n")
+	}
+	ctx := &countdownCtx{Context: context.Background(), polls: 1}
+	s := NewSearch(edgePattern("n", "n", "e"), g, Options{Ctx: ctx, Scan: true})
+	if _, ok := s.Next(); ok {
+		t.Fatal("edgeless graph produced a match")
+	}
+	if err := s.Err(); err != context.Canceled {
+		t.Fatalf("Err = %v, want the mid-scan cancel", err)
+	}
+}
+
+// TestSearchNilCtx pins that a context-free search is unchanged: full
+// enumeration, no error.
+func TestSearchNilCtx(t *testing.T) {
+	s := NewSearch(edgePattern("n", "n", "e"), triangleData(), Options{})
+	n := 0
+	for _, ok := s.Next(); ok; _, ok = s.Next() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("enumerated %d matches, want 3", n)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err = %v on an uncanceled search", err)
+	}
+}

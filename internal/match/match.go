@@ -10,6 +10,8 @@
 package match
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/pattern"
 )
@@ -69,6 +71,11 @@ type Search struct {
 	seeded []bool // variables fixed by the seed (never backtracked)
 	stack  []frame
 	done   bool
+	// ctx is Options.Ctx; ctxLeft counts frame expansions down to the next
+	// poll, and err records the context error that ended the enumeration.
+	ctx     context.Context
+	ctxLeft int
+	err     error
 	// scratch recycles one candidate buffer per search depth: a popped
 	// frame's cands backing array is reused by the next push at that depth,
 	// so steady-state backtracking allocates nothing.
@@ -172,7 +179,18 @@ type Options struct {
 	// adaptive-kernel equivalence tests and the match_adaptive_speedup CI
 	// ratio. Production callers leave it false.
 	MergeOnly bool
+	// Ctx, when non-nil, makes the enumeration cooperatively cancelable:
+	// Next polls the context once every ctxCheckEvery frame expansions —
+	// cheap enough to be left on in the engines, frequent enough that even
+	// a single combinatorial unit stops within a bounded number of frames —
+	// and once it fires the search is permanently exhausted (Next reports
+	// ok=false) with Err returning the cause. A nil Ctx is never polled.
+	Ctx context.Context
 }
+
+// ctxCheckEvery is the frame-expansion period between context polls: the
+// bound on extra work a cancelled enumeration performs before returning.
+const ctxCheckEvery = 256
 
 // DefaultOrder returns a connectivity-respecting order over all components.
 func DefaultOrder(p *pattern.Pattern) []pattern.Var {
@@ -225,6 +243,8 @@ func NewSearch(p *pattern.Pattern, g graph.Reader, opts Options) *Search {
 		rootCands: opts.RootCandidates,
 		scan:      opts.Scan,
 		mergeOnly: opts.MergeOnly,
+		ctx:       opts.Ctx,
+		ctxLeft:   ctxCheckEvery,
 		assign:    NewAssignment(p.NumVars()),
 		seeded:    make([]bool, p.NumVars()),
 	}
@@ -286,6 +306,9 @@ func (s *Search) Next() (Assignment, bool) {
 	if s.done {
 		return nil, false
 	}
+	if s.canceled() {
+		return nil, false
+	}
 	if s.stack == nil {
 		// First call: if everything is seeded, the seed itself is the only
 		// match (already validated in NewSearch).
@@ -303,6 +326,9 @@ func (s *Search) Next() (Assignment, bool) {
 		s.retractTop()
 	}
 	for len(s.stack) > 0 {
+		if s.ctxLeft--; s.ctxLeft <= 0 && s.canceled() {
+			return nil, false
+		}
 		top := &s.stack[len(s.stack)-1]
 		if top.idx >= len(top.cands) {
 			s.pop()
@@ -326,6 +352,25 @@ func (s *Search) Next() (Assignment, bool) {
 	s.done = true
 	return nil, false
 }
+
+// canceled polls Options.Ctx (resetting the poll countdown) and, when the
+// context has fired, latches the search exhausted with the cause in Err.
+func (s *Search) canceled() bool {
+	s.ctxLeft = ctxCheckEvery
+	if s.ctx == nil {
+		return false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.done = true
+		s.err = err
+		return true
+	}
+	return false
+}
+
+// Err returns the context error that ended the enumeration, or nil for a
+// search that ran (or is still running) to natural exhaustion.
+func (s *Search) Err() error { return s.err }
 
 // depthLimit is the number of open (non-seeded) variables.
 func (s *Search) depthLimit() int {
