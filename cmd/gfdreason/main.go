@@ -93,6 +93,7 @@ func main() {
 			res = core.ParSat(set, opt)
 		}
 		exitOnRunErr(res.Err)
+		sharingNote(res.Stats)
 		if res.Satisfiable {
 			fmt.Println("SATISFIABLE")
 			return
@@ -124,6 +125,7 @@ func main() {
 			r := core.ParImp(set, phi, opt)
 			exitOnRunErr(r.Err)
 			implied, reason = r.Implied, r.Reason.String()
+			sharingNote(r.Stats)
 		}
 		if implied {
 			fmt.Printf("IMPLIED (%s)\n", reason)
@@ -162,8 +164,12 @@ func main() {
 			}
 			data = d.Overlay()
 		}
-		vs, verr := core.ViolationsCtx(ctx, data, set)
+		vs, vstats, verr := core.ViolationsOpts(ctx, data, set, core.VerifyOptions{})
 		exitOnRunErr(verr)
+		// The verdict on stdout stays machine-readable; sharing telemetry
+		// goes to stderr like the other notes.
+		fmt.Fprintf(os.Stderr, "sharing: %d pattern groups for %d GFDs; %d GFDs shared a pattern, %d matches reused\n",
+			vstats.Groups, set.Len(), vstats.SharedGFDs, vstats.MatchesReused)
 		if len(vs) == 0 {
 			fmt.Println("CLEAN: graph satisfies all rules")
 			return
@@ -282,6 +288,16 @@ func exitOnRunErr(err error) {
 		os.Exit(3)
 	}
 	fatalf("%v", err)
+}
+
+// sharingNote reports how much pattern-level work a reasoning run shared
+// across structurally equal GFDs. Silent when the set had no duplicate
+// structure, so single-GFD runs stay quiet.
+func sharingNote(st core.Stats) {
+	if st.GroupsShared > 0 {
+		fmt.Fprintf(os.Stderr, "sharing: %d pattern groups enumerated once for multiple GFDs; %d matches reused\n",
+			st.GroupsShared, st.MatchesReused)
+	}
 }
 
 func fatalf(format string, args ...any) {

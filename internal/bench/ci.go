@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -331,6 +332,75 @@ func PlanQueries(f *graph.Frozen, ps []*pattern.Pattern, cache *match.PlanCache)
 	return n
 }
 
+// MultiGFDWorkload builds the canonical shared multi-GFD validation
+// workload: a SharedValidationSet of up to 6 schema-triangle patterns with
+// 8 GFDs each — members alternating between the shared pattern value and a
+// rebuilt structurally equal copy, so grouping must go through the
+// fingerprint — over a label-dense graph with a sprinkling of perturbed
+// attributes so violations exist. Shared by the CI gate (multi_gfd_speedup)
+// and the multigfd experiment. Errors when no seed in [seed, seed+16)
+// closes a schema triangle.
+func MultiGFDWorkload(seed int64) (*gfd.Set, *graph.Frozen, error) {
+	for s := seed; s < seed+16; s++ {
+		gr := gen.New(gen.Config{N: 40, K: 6, L: 2, Profile: dataset.DBpedia(), WildcardRate: 0.2, Seed: s})
+		set := gr.SharedValidationSet(6, 8)
+		if set.Len() == 0 {
+			continue
+		}
+		g := gr.DenseGraph(20000, 8)
+		rng := rand.New(rand.NewSource(s))
+		for i := 0; i < 80; i++ {
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			for a := range g.Attrs(v) {
+				g.SetAttr(v, a, "perturbed")
+				break
+			}
+		}
+		return set, g.Frozen(), nil
+	}
+	return nil, nil, fmt.Errorf("no shared multi-GFD workload within seeds [%d,%d)", seed, seed+16)
+}
+
+// sameViolations reports whether two violation lists agree violation for
+// violation — GFD identity and match bindings, in order. The multi-GFD gate
+// only times code paths this check has proven equivalent.
+func sameViolations(a, b []core.Violation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].GFD != b[i].GFD || len(a[i].Match) != len(b[i].Match) {
+			return false
+		}
+		for j := range a[i].Match {
+			if a[i].Match[j] != b[i].Match[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// allocsPerOp measures steady-state heap allocations per call of f. One
+// warm-up call runs first so lazily built structures (plans, compiled
+// literal programs, scratch) are excluded — the steady state is what the
+// hot loops claim. Informational only: counts are deterministic on one
+// toolchain but shift across Go versions, so they ride in the artifact
+// without gating.
+func allocsPerOp(reps int, f func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	f()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(reps)
+}
+
 // CIShardWorkers is the fan-out width of the sharded/stealing CI metrics:
 // the paper's per-machine worker count, oversubscribed harmlessly on
 // smaller runners (goroutines, not threads).
@@ -381,6 +451,9 @@ func RunCI(cfg Config) (*CIReport, error) {
 	info := func(name string, d time.Duration) {
 		report.Metrics = append(report.Metrics, Metric{Name: name, Value: msOf(d), Unit: "ms", Informational: true})
 	}
+	infoAllocs := func(name string, v float64) {
+		report.Metrics = append(report.Metrics, Metric{Name: name, Value: v, Unit: "allocs/op", Informational: true})
+	}
 
 	from, to, lab := HubHeavyIngest(cfg.Seed)
 	incremental := medianTime(cfg.Reps, func() { IngestIncremental(from, to, lab) })
@@ -408,6 +481,11 @@ func RunCI(cfg Config) (*CIReport, error) {
 	info("match_frozen_ms", frozen)
 	info("match_indexed_ms", indexed)
 	info("match_scan_ms", scan)
+	infoAllocs("match_frozen_allocs", allocsPerOp(cfg.Reps, func() {
+		for _, p := range ps {
+			match.NewSearch(p, f, match.Options{}).CountAll()
+		}
+	}))
 
 	// Sharded fan-out vs the flat single-threaded enumeration of the same
 	// workload. The ratio is gated with a deliberately conservative baseline
@@ -553,6 +631,44 @@ func RunCI(cfg Config) (*CIReport, error) {
 	gauge("incr_validate_speedup", fullValT, incrValT)
 	info("incr_validate_ms", incrValT)
 	info("full_validate_ms", fullValT)
+
+	// Shared multi-GFD evaluation vs the per-GFD ablation: ~8 GFDs per
+	// pattern structure, so the grouped path enumerates each pattern once
+	// where the ablation enumerates it eight times. Both sides are
+	// single-threaded and deterministic over the same snapshot, making the
+	// ratio machine-independent; the equal-results check proves the two
+	// paths agree violation for violation before anything is timed.
+	mset, mg, err := MultiGFDWorkload(cfg.Seed)
+	if err != nil {
+		return report, fmt.Errorf("cannot build the multi-GFD workload: %v", err)
+	}
+	bg := context.Background()
+	grouped, gst, gerr := core.ViolationsOpts(bg, mg, mset, core.VerifyOptions{})
+	ablation, _, aerr := core.ViolationsOpts(bg, mg, mset, core.VerifyOptions{PerGFD: true})
+	if gerr != nil || aerr != nil {
+		return report, fmt.Errorf("multi-GFD workload failed: grouped %v, per-GFD %v", gerr, aerr)
+	}
+	if !sameViolations(grouped, ablation) {
+		return report, fmt.Errorf("multi-GFD workload broken: grouped found %d violations, per-GFD %d — paths disagree", len(grouped), len(ablation))
+	}
+	if gst.SharedGFDs == 0 {
+		return report, fmt.Errorf("multi-GFD workload vacuous: no GFD shared a pattern group (%d groups over %d GFDs)", gst.Groups, mset.Len())
+	}
+	perGFDT := minTime(cfg.Reps, func() {
+		core.ViolationsOpts(bg, mg, mset, core.VerifyOptions{PerGFD: true})
+	})
+	groupedT := minTime(incrReps, func() {
+		core.ViolationsOpts(bg, mg, mset, core.VerifyOptions{})
+	})
+	gauge("multi_gfd_speedup", perGFDT, groupedT)
+	info("multi_gfd_grouped_ms", groupedT)
+	info("multi_gfd_pergfd_ms", perGFDT)
+	infoAllocs("multi_gfd_grouped_allocs", allocsPerOp(cfg.Reps, func() {
+		core.ViolationsOpts(bg, mg, mset, core.VerifyOptions{})
+	}))
+	infoAllocs("multi_gfd_pergfd_allocs", allocsPerOp(cfg.Reps, func() {
+		core.ViolationsOpts(bg, mg, mset, core.VerifyOptions{PerGFD: true})
+	}))
 
 	// Snapshot load vs the same rebuild-from-edges the freeze metric timed:
 	// both produce the base snapshot, one by sorting raw edges, one by

@@ -24,6 +24,14 @@ type Stats struct {
 	UnitsStolen  int // units taken from another worker's deque (stealing runs)
 	Broadcasts   int // delta broadcasts between workers
 	DeltaOps     int // total Eq operations shipped in broadcasts
+	// GroupsShared counts pattern groups with ≥2 member GFDs: patterns that
+	// were enumerated once on behalf of several rules (shared multi-GFD
+	// evaluation; 0 under ParOptions.PerGFD).
+	GroupsShared int
+	// MatchesReused counts match deliveries beyond the first per enumerated
+	// match: each enumerated match of an m-member group enforces m rules,
+	// m−1 of which would have required their own enumeration per-GFD.
+	MatchesReused int
 }
 
 // Add accumulates other into s.
@@ -38,6 +46,8 @@ func (s *Stats) Add(other Stats) {
 	s.UnitsStolen += other.UnitsStolen
 	s.Broadcasts += other.Broadcasts
 	s.DeltaOps += other.DeltaOps
+	s.GroupsShared += other.GroupsShared
+	s.MatchesReused += other.MatchesReused
 }
 
 // xState classifies a match's antecedent under the current Eq.

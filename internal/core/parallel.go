@@ -71,6 +71,13 @@ type ParOptions struct {
 	// context.DeadlineExceeded when a deadline fired) in the result's Err
 	// field; it never leaks a goroutine. Nil runs without cancellation.
 	Ctx context.Context
+	// PerGFD disables shared multi-GFD evaluation: every GFD gets its own
+	// pattern group (and therefore its own work units and enumerations) even
+	// when several GFDs share one pattern structure. The answer is identical
+	// either way — the offered (rule, match) multiset is the same and the
+	// fixpoint is order-independent — so this exists as the ablation baseline
+	// for the multi_gfd_speedup benchmark and the equivalence tests.
+	PerGFD bool
 	// unitDepCap bounds the number of units for which the quadratic
 	// unit-level dependency graph is built; beyond it the coarser GFD-level
 	// topological order ranks units. 0 means the default.
@@ -96,10 +103,13 @@ func DefaultParOptions(workers int) ParOptions {
 
 const defaultUnitDepCap = 2500
 
-// unit is a pivoted work unit (Q_φ[z], φ), optionally carrying a partial
-// match seed when it was split off a straggler.
+// unit is a pivoted work unit (Q[z], group), optionally carrying a partial
+// match seed when it was split off a straggler. Units are per pattern
+// group, not per GFD: one enumeration of the group's pattern serves every
+// member rule, with the per-GFD conclusions fanned out at enforcement time
+// (handleMatch).
 type unit struct {
-	gfd   int
+	grp   int // index into parEngine.groups
 	pivot graph.NodeID
 	seed  match.Assignment
 }
@@ -153,6 +163,12 @@ type parEngine struct {
 	baseEq *eq.Eq            // nil for satisfiability; Eq_X for implication
 	goal   func(*eq.Eq) bool // nil for satisfiability; Y ⊆ Eq_H for implication
 	high   func(int) bool    // GFD indexes with the highest unit priority
+
+	// groups buckets Σ by pattern structure (singletons under PerGFD); the
+	// per-group arrays below are aligned with it. sharedGroups counts the
+	// multi-member groups for Stats.GroupsShared.
+	groups       []gfd.Group
+	sharedGroups int
 
 	sims     []*match.Sim
 	pivotVar []pattern.Var
@@ -341,18 +357,26 @@ func (st *stealState[T]) take(id int, stopped func() bool, stolen *int) (T, bool
 	}
 }
 
-// buildUnits enumerates the work units of Σ on g: one per (GFD, pivot
-// candidate). The pivot variable is the most selective pivot among the
-// pattern's components; candidates come from the simulation pre-filter when
-// enabled (a pattern that fails simulation has no matches and yields no
-// units), else from the label index.
+// buildUnits enumerates the work units of Σ on g: one per (pattern group,
+// pivot candidate). GFDs with structurally equal patterns share one group —
+// one simulation relation, one plan, one set of units — and their X → Y
+// conclusions fan out per match in handleMatch. The pivot variable is the
+// most selective pivot among the pattern's components; candidates come from
+// the simulation pre-filter when enabled (a pattern that fails simulation
+// has no matches and yields no units), else from the label index.
 func (e *parEngine) buildUnits() {
-	n := e.set.Len()
+	e.groups = grouping(e.set, e.opt.PerGFD)
+	n := len(e.groups)
+	for _, grp := range e.groups {
+		if len(grp.Members) > 1 {
+			e.sharedGroups++
+		}
+	}
 	e.sims = make([]*match.Sim, n)
 	e.pivotVar = make([]pattern.Var, n)
 	e.orders = make([][]pattern.Var, n)
 	e.plans = make([]*match.Plan, n)
-	// The simulation pre-filter is per-GFD independent; computing it
+	// The simulation pre-filter is per-group independent; computing it
 	// serially would be a p-independent startup phase capping the speedup
 	// (Amdahl), so it is spread over the same p workers.
 	simFailed := make([]bool, n)
@@ -372,7 +396,7 @@ func (e *parEngine) buildUnits() {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					if sim := match.Simulate(e.set.GFDs[i].Pattern, e.g); sim != nil {
+					if sim := match.Simulate(e.groups[i].Pattern, e.g); sim != nil {
 						e.sims[i] = sim
 					} else {
 						simFailed[i] = true
@@ -382,12 +406,12 @@ func (e *parEngine) buildUnits() {
 		}
 		wg.Wait()
 	}
-	for i, phi := range e.set.GFDs {
-		p := phi.Pattern
+	for i, grp := range e.groups {
+		p := grp.Pattern
 		if e.opt.Simulation && simFailed[i] {
 			continue // no match anywhere: no units
 		}
-		// Plan the GFD once: pivots, per-pivot orders and resolved label IDs
+		// Plan the group once: pivots, per-pivot orders and resolved label IDs
 		// are shared by every work unit (and, through an epoch-checked
 		// Options.Plans cache, by later runs against the same snapshot).
 		var plan *match.Plan
@@ -412,7 +436,7 @@ func (e *parEngine) buildUnits() {
 		e.orders[i] = plan.OrderFor(best)
 
 		for _, z := range e.candidatesFor(i, best) {
-			e.units = append(e.units, unit{gfd: i, pivot: z})
+			e.units = append(e.units, unit{grp: i, pivot: z})
 		}
 	}
 	e.rankUnits()
@@ -422,7 +446,7 @@ func (e *parEngine) candCount(i int, v pattern.Var) int {
 	if e.sims[i] != nil {
 		return e.sims[i].Count(v)
 	}
-	return e.g.LabelFrequency(e.set.GFDs[i].Pattern.Label(v))
+	return e.g.LabelFrequency(e.groups[i].Pattern.Label(v))
 }
 
 func (e *parEngine) candidatesFor(i int, v pattern.Var) []graph.NodeID {
@@ -430,7 +454,7 @@ func (e *parEngine) candidatesFor(i int, v pattern.Var) []graph.NodeID {
 		return e.sims[i].Nodes(v) // already ascending
 	}
 	// CandidateNodes returns a fresh copy, so sorting in place is safe.
-	out := e.g.CandidateNodes(e.set.GFDs[i].Pattern.Label(v))
+	out := e.g.CandidateNodes(e.groups[i].Pattern.Label(v))
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }
@@ -456,24 +480,40 @@ func (e *parEngine) rankUnits() {
 		}
 		return len(e.set.GFDs[gi].X) == 0
 	}
+	// The dependency graph speaks GFD indexes, so each group is represented
+	// by its first member; a group ranks high when any member does (its unit
+	// enforces every member's conclusion).
+	rep := make([]int, len(e.groups))
+	groupHigh := make(map[int]bool, len(e.groups)) // keyed by representative GFD
+	for gi, grp := range e.groups {
+		rep[gi] = grp.Members[0]
+		hi := false
+		for _, mi := range grp.Members {
+			if isHigh(mi) {
+				hi = true
+				break
+			}
+		}
+		groupHigh[rep[gi]] = hi
+	}
 	if len(e.units) <= cap {
 		it := depgraph.NewInteraction(e.set)
 		dunits := make([]depgraph.Unit, len(e.units))
 		for i, u := range e.units {
-			dunits[i] = depgraph.Unit{GFD: u.gfd, Pivot: u.pivot}
+			dunits[i] = depgraph.Unit{GFD: rep[u.grp], Pivot: u.pivot}
 		}
 		radii := make([]int, e.set.Len())
-		for i, phi := range e.set.GFDs {
-			if e.orders[i] != nil {
-				radii[i] = phi.Pattern.Radius(e.pivotVar[i])
+		for gi, grp := range e.groups {
+			if e.orders[gi] != nil {
+				radii[rep[gi]] = grp.Pattern.Radius(e.pivotVar[gi])
 			}
 		}
 		adj := depgraph.UnitDeps(dunits, it, e.g, radii)
-		e.ranks = depgraph.UnitPriorities(dunits, adj, e.set, func(u depgraph.Unit) bool { return isHigh(u.GFD) })
+		e.ranks = depgraph.UnitPriorities(dunits, adj, e.set, func(u depgraph.Unit) bool { return groupHigh[u.GFD] })
 		return
 	}
-	// Coarse ranking: position of the unit's GFD in the GFD-level order,
-	// with high-priority GFDs first.
+	// Coarse ranking: position of the unit's representative GFD in the
+	// GFD-level order, with high-priority GFDs first.
 	order := depgraph.OrderGFDs(e.set)
 	pos := make([]int, e.set.Len())
 	rank := 0
@@ -490,7 +530,7 @@ func (e *parEngine) rankUnits() {
 		}
 	}
 	for i, u := range e.units {
-		e.ranks[i] = pos[u.gfd]
+		e.ranks[i] = pos[rep[u.grp]]
 	}
 }
 
@@ -578,6 +618,7 @@ func (e *parEngine) finishRun(events chan cevent, assign []chan wmsg, workers []
 	}
 	st.Broadcasts = e.log.Appends()
 	st.DeltaOps = e.log.Len()
+	st.GroupsShared = e.sharedGroups
 	return c, goal, fin, st, err
 }
 
@@ -905,19 +946,22 @@ func (w *parWorker) finalize() bool {
 }
 
 // runUnit executes one work unit: pivoted (optionally pipelined) matching
-// with TTL splitting, enforcing the unit's GFD at each match.
+// with TTL splitting, enforcing every member GFD of the unit's pattern
+// group at each match.
 func (w *parWorker) runUnit(u unit) {
 	w.enf.stats.UnitsRun++
-	if h := w.eng.opt.testHookUnitStart; h != nil {
-		h(u.gfd, u.pivot)
+	eng := w.eng
+	grp := eng.groups[u.grp]
+	if h := eng.opt.testHookUnitStart; h != nil {
+		// The hook's GFD index is the group's representative member, so
+		// existing per-GFD test hooks keep firing on meaningful indexes.
+		h(grp.Members[0], u.pivot)
 	}
 	if !w.catchUp() {
 		return
 	}
-	eng := w.eng
-	phi := eng.set.GFDs[u.gfd]
-	p := phi.Pattern
-	pv := eng.pivotVar[u.gfd]
+	p := grp.Pattern
+	pv := eng.pivotVar[u.grp]
 
 	seed := u.seed
 	if seed == nil {
@@ -931,27 +975,39 @@ func (w *parWorker) runUnit(u unit) {
 	// simulation relation prunes candidates further without per-unit
 	// allocation.
 	var filter func(pattern.Var, graph.NodeID) bool
-	if sim := eng.sims[u.gfd]; sim != nil {
+	if sim := eng.sims[u.grp]; sim != nil {
 		filter = sim.Has
 	}
 	// The run's context rides into the enumeration so even one huge unit
 	// stops within a bounded number of frame expansions after cancellation.
-	s := match.NewSearch(p, eng.g, match.Options{Order: eng.orders[u.gfd], Seed: seed, Filter: filter, Plan: eng.plans[u.gfd], Ctx: eng.opt.Ctx})
+	s := match.NewSearch(p, eng.g, match.Options{Order: eng.orders[u.grp], Seed: seed, Filter: filter, Plan: eng.plans[u.grp], Ctx: eng.opt.Ctx})
 
 	if eng.opt.Pipeline {
-		w.runPipelined(u, phi, s)
+		w.runPipelined(u, s)
 	} else {
-		w.runPhased(u, phi, s)
+		w.runPhased(u, s)
 	}
 }
 
-// handleMatch enforces φ at h and performs the broadcast/catch-up cycle.
+// handleMatch offers h to every member GFD of pattern group grp — this is
+// where shared enumeration fans out into per-rule conclusions — then drains
+// once and performs the broadcast/catch-up cycle. The fixpoint is
+// order-independent (Church–Rosser), so offering the members back-to-back
+// instead of in separate per-GFD runs changes nothing about the answer.
 // It reports false when the run must stop (conflict or goal).
-func (w *parWorker) handleMatch(phi *gfd.GFD, h match.Assignment) bool {
-	if !w.enf.offer(phi, h) || !w.enf.drain() {
+func (w *parWorker) handleMatch(grp int, h match.Assignment) bool {
+	members := w.eng.groups[grp].Members
+	for _, mi := range members {
+		if !w.enf.offer(w.eng.set.GFDs[mi], h) {
+			w.events <- cevent{kind: evConflict, worker: w.id}
+			return false
+		}
+	}
+	if !w.enf.drain() {
 		w.events <- cevent{kind: evConflict, worker: w.id}
 		return false
 	}
+	w.enf.stats.MatchesReused += len(members) - 1
 	w.broadcast()
 	if !w.checkGoal() {
 		return false
@@ -967,7 +1023,7 @@ func (w *parWorker) handleMatch(phi *gfd.GFD, h match.Assignment) bool {
 // producer goroutine is spawned lazily once the unit proves non-trivial, so
 // pipelining's per-unit cost is only paid where overlapping generation and
 // checking can actually help.
-func (w *parWorker) runPipelined(u unit, phi *gfd.GFD, s *match.Search) {
+func (w *parWorker) runPipelined(u unit, s *match.Search) {
 	const inlineBudget = 2
 	start := time.Now()
 	for i := 0; i < inlineBudget; i++ {
@@ -978,7 +1034,7 @@ func (w *parWorker) runPipelined(u unit, phi *gfd.GFD, s *match.Search) {
 		if !ok {
 			return
 		}
-		if !w.handleMatch(phi, h) {
+		if !w.handleMatch(u.grp, h) {
 			return
 		}
 	}
@@ -1027,7 +1083,7 @@ func (w *parWorker) runPipelined(u unit, phi *gfd.GFD, s *match.Search) {
 	ok := true
 	for h := range matches {
 		if ok {
-			if !w.handleMatch(phi, h) {
+			if !w.handleMatch(u.grp, h) {
 				ok = false
 				stop.Store(true)
 				// Keep draining so the producer can exit.
@@ -1040,7 +1096,7 @@ func (w *parWorker) runPipelined(u unit, phi *gfd.GFD, s *match.Search) {
 // runPhased is the np ablation: enumerate every match of the unit first,
 // then check them one by one. TTL splitting still applies during the
 // enumeration phase (the two optimizations are independent).
-func (w *parWorker) runPhased(u unit, phi *gfd.GFD, s *match.Search) {
+func (w *parWorker) runPhased(u unit, s *match.Search) {
 	var all []match.Assignment
 	var split []match.Assignment
 	start := time.Now()
@@ -1064,7 +1120,7 @@ func (w *parWorker) runPhased(u unit, phi *gfd.GFD, s *match.Search) {
 		if w.eng.stopped.Load() {
 			return
 		}
-		if !w.handleMatch(phi, h) {
+		if !w.handleMatch(u.grp, h) {
 			return
 		}
 	}
@@ -1077,7 +1133,7 @@ func (w *parWorker) emitSplits(u unit, seeds []match.Assignment) {
 	}
 	units := make([]unit, len(seeds))
 	for i, sd := range seeds {
-		units[i] = unit{gfd: u.gfd, pivot: u.pivot, seed: sd}
+		units[i] = unit{grp: u.grp, pivot: u.pivot, seed: sd}
 	}
 	w.enf.stats.UnitsSplit += len(units)
 	if st := w.eng.steal; st != nil {

@@ -37,15 +37,20 @@ type RevalidateOptions struct {
 	// carries a fresh epoch and is planned per call.
 	Plans *match.PlanCache
 	// Ctx, when non-nil, cancels the revalidation cooperatively: checked
-	// between GFDs, inside each GFD's re-enumeration (match.Options.Ctx),
+	// between groups, inside each group's re-enumeration (match.Options.Ctx),
 	// and by condvar-blocked idle workers on the parallel path. A cancelled
 	// call returns ErrCanceled (or the context's deadline error) with the
 	// stats of the work it finished; the violations slice is meaningless
 	// then. Nil runs without cancellation.
 	Ctx context.Context
-	// testHookGFDStart, when non-nil, runs as each GFD's revalidation task
-	// starts — the seam the panic-isolation tests use to detonate inside a
-	// worker.
+	// PerGFD disables shared multi-GFD evaluation: every GFD is revalidated
+	// independently even when several share one pattern structure. Results
+	// are identical either way (the equivalence tests pin it); this is the
+	// ablation baseline.
+	PerGFD bool
+	// testHookGFDStart, when non-nil, runs as each revalidation task starts,
+	// receiving the task's representative GFD index — the seam the
+	// panic-isolation tests use to detonate inside a worker.
 	testHookGFDStart func(gi int)
 }
 
@@ -53,20 +58,24 @@ type RevalidateOptions struct {
 // compare Reenumerated against the graph's full match volume to see what
 // the delta scoping saved.
 type RevalidateStats struct {
-	GFDs         int // patterns revalidated
-	Scoped       int // patterns whose re-enumeration was hood-scoped
-	Full         int // patterns re-enumerated in full (disconnected patterns)
-	Kept         int // prior violations carried over unexamined
-	Reenumerated int // matches re-enumerated inside the scope
-	UnitsStolen  int // revalidation tasks taken from another worker's deque
+	GFDs          int // GFDs revalidated
+	Groups        int // pattern groups revalidated (== GFDs under PerGFD)
+	Scoped        int // groups whose re-enumeration was hood-scoped
+	Full          int // groups re-enumerated in full (disconnected patterns)
+	Kept          int // prior violations carried over unexamined
+	Reenumerated  int // matches re-enumerated inside the scope
+	MatchesReused int // match deliveries beyond the first per re-enumerated match
+	UnitsStolen   int // revalidation tasks taken from another worker's deque
 }
 
 func (s *RevalidateStats) add(other RevalidateStats) {
 	s.GFDs += other.GFDs
+	s.Groups += other.Groups
 	s.Scoped += other.Scoped
 	s.Full += other.Full
 	s.Kept += other.Kept
 	s.Reenumerated += other.Reenumerated
+	s.MatchesReused += other.MatchesReused
 	s.UnitsStolen += other.UnitsStolen
 }
 
@@ -90,23 +99,28 @@ func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := set.Len()
-	stats.GFDs = n
-	prevBy := make(map[*gfd.GFD][]Violation, n)
+	// Bucket Σ by pattern structure: one neighborhood lookup and one
+	// (scoped) re-enumeration serve every GFD sharing the structure, with
+	// per-member literal checks fanned out at each match.
+	groups := grouping(set, opt.PerGFD)
+	n := len(groups)
+	stats.GFDs = set.Len()
+	stats.Groups = n
+	prevBy := make(map[*gfd.GFD][]Violation, set.Len())
 	for _, v := range prev {
 		prevBy[v.GFD] = append(prevBy[v.GFD], v)
 	}
-	// Neighborhoods are shared across GFDs with equal pattern radius and
+	// Neighborhoods are shared across groups with equal pattern radius and
 	// computed up front, so the parallel workers read them without
 	// synchronization. Removed edges exist only in old, added ones only in
 	// updated; the union neighborhood covers matches dying in the former
 	// and matches born in the latter.
 	hoods := make(map[int]map[graph.NodeID]bool)
-	for _, phi := range set.GFDs {
+	for _, grp := range groups {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, canceledErr(err)
 		}
-		p := phi.Pattern
+		p := grp.Pattern
 		if !p.Connected() || p.NumVars() == 0 {
 			continue
 		}
@@ -121,20 +135,21 @@ func Revalidate(set *gfd.Set, old, updated graph.Reader, touched []graph.NodeID,
 		hoods[r] = hood
 	}
 
-	results := make([][]Violation, n)
+	results := make([][]Violation, set.Len())
 	run := func(gi int, st *RevalidateStats) error {
 		if h := opt.testHookGFDStart; h != nil {
-			h(gi)
+			h(groups[gi].Members[0])
 		}
 		if err := ctx.Err(); err != nil {
 			return canceledErr(err)
 		}
-		phi := set.GFDs[gi]
-		vs, err := revalidateGFD(phi, updated, hoods, prevBy[phi], opt.Plans, opt.Ctx, st)
+		vs, err := revalidateGroup(set, groups[gi], updated, hoods, prevBy, opt.Plans, opt.Ctx, st)
 		if err != nil {
 			return err
 		}
-		results[gi] = vs
+		for i, mi := range groups[gi].Members {
+			results[mi] = vs[i]
+		}
 		return nil
 	}
 	workers := opt.Workers
@@ -244,14 +259,19 @@ func RevalidateDelta(set *gfd.Set, d *graph.Delta, prev []Violation, opt Revalid
 	return Revalidate(set, d.Base(), d.Overlay(), d.TouchedNodes(), prev, opt)
 }
 
-// revalidateGFD revalidates one GFD: carry over prior violations rooted
-// outside the hood, re-enumerate matches rooted inside it, and restore the
-// sequential enumeration order. Disconnected patterns fall back to a full
+// revalidateGroup revalidates one pattern group: carry over each member's
+// prior violations rooted outside the hood, re-enumerate matches rooted
+// inside it once for the whole group (fanning the compiled literal checks
+// out per member at each match), and restore each member's sequential
+// enumeration order. Disconnected patterns fall back to a full
 // re-enumeration — a match of such a pattern is a cross product of
 // independent component matches, so a change in any component invalidates
 // combinations whose root component lies arbitrarily far from the delta.
-func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.NodeID]bool, prev []Violation, plans *match.PlanCache, ctx context.Context, st *RevalidateStats) ([]Violation, error) {
-	p := phi.Pattern
+// It returns one violation slice per group member, aligned with
+// grp.Members.
+func revalidateGroup(set *gfd.Set, grp gfd.Group, updated graph.Reader, hoods map[int]map[graph.NodeID]bool, prevBy map[*gfd.GFD][]Violation, plans *match.PlanCache, ctx context.Context, st *RevalidateStats) ([][]Violation, error) {
+	p := grp.Pattern
+	out := make([][]Violation, len(grp.Members))
 	var plan *match.Plan
 	order := match.DefaultOrder(p)
 	if plans != nil {
@@ -259,11 +279,19 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 		order = plan.DefaultOrder()
 	}
 	if len(order) == 0 {
-		return nil, nil
+		return out, nil
 	}
-	var out []Violation
-	violates := func(h match.Assignment) bool {
-		return holdsLiterals(updated, h, phi.X) && !holdsLiterals(updated, h, phi.Y)
+	prog := compileGroupLiterals(set, grp, plan)
+	scr := prog.NewScratch()
+	emit := func(h match.Assignment) {
+		st.Reenumerated++
+		st.MatchesReused += len(grp.Members) - 1
+		scr.Begin()
+		for i, mi := range grp.Members {
+			if prog.Violates(i, updated, h, scr) {
+				out[i] = append(out[i], Violation{GFD: set.GFDs[mi], Match: h})
+			}
+		}
 	}
 	if !p.Connected() {
 		st.Full++
@@ -276,19 +304,18 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 				}
 				return out, nil
 			}
-			st.Reenumerated++
-			if violates(h) {
-				out = append(out, Violation{GFD: phi, Match: h})
-			}
+			emit(h)
 		}
 	}
 	st.Scoped++
 	root := order[0]
 	hood := hoods[p.Radius(root)]
-	for _, v := range prev {
-		if !hood[v.Match[root]] {
-			out = append(out, v)
-			st.Kept++
+	for i, mi := range grp.Members {
+		for _, v := range prevBy[set.GFDs[mi]] {
+			if !hood[v.Match[root]] {
+				out[i] = append(out[i], v)
+				st.Kept++
+			}
 		}
 	}
 	if cands := match.ScopedRootCandidates(p, updated, order, hood); len(cands) > 0 {
@@ -301,18 +328,17 @@ func revalidateGFD(phi *gfd.GFD, updated graph.Reader, hoods map[int]map[graph.N
 				}
 				break
 			}
-			st.Reenumerated++
-			if violates(h) {
-				out = append(out, Violation{GFD: phi, Match: h})
-			}
+			emit(h)
 		}
 	}
-	// The carried-over and re-enumerated halves partition the violation set
-	// by root-in-hood; both are lexicographic in the variable order, and the
-	// sequential enumeration is exactly that lexicographic order (every
-	// search frame iterates an ascending candidate list), so one sort
-	// restores full-Violations order.
-	sortViolationsByOrder(out, order)
+	// The carried-over and re-enumerated halves partition each member's
+	// violation set by root-in-hood; both are lexicographic in the variable
+	// order, and the sequential enumeration is exactly that lexicographic
+	// order (every search frame iterates an ascending candidate list), so
+	// one sort per member restores full-Violations order.
+	for i := range out {
+		sortViolationsByOrder(out[i], order)
+	}
 	return out, nil
 }
 

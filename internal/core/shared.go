@@ -1,0 +1,180 @@
+// Shared multi-GFD evaluation. Rule sets are redundant: many GFDs carry
+// one pattern (same Q, different X → Y literals) or patterns overlapping on
+// a match-order prefix. The validation entry points route through
+// gfd.Set.Groups — GFDs bucketed by pattern fingerprint with a structural
+// equality guard — so each distinct pattern structure is enumerated once
+// and only the literal checks fan out per member, through the compiled
+// attr-key-interned evaluator (match.LiteralEval) instead of the per-call
+// attribute walk.
+package core
+
+import (
+	"context"
+
+	"repro/internal/gfd"
+	"repro/internal/graph"
+	"repro/internal/match"
+)
+
+// VerifyOptions configures ViolationsOpts.
+type VerifyOptions struct {
+	// PerGFD disables shared multi-GFD evaluation and checks every GFD
+	// independently: the ablation baseline for the multi_gfd_speedup
+	// benchmark and the grouped-equivalence tests. Results are identical
+	// either way; only the work layout changes.
+	PerGFD bool
+	// Plans, when non-nil, resolves each group's pattern through the
+	// compiled-plan cache, sharing planning work across calls on the same
+	// snapshot epoch.
+	Plans *match.PlanCache
+}
+
+// VerifyStats reports how much enumeration work the grouped evaluation
+// shared (all zero when PerGFD is set).
+type VerifyStats struct {
+	// Groups is the number of structurally distinct patterns in Σ.
+	Groups int
+	// SharedGFDs counts GFDs that rode along in a multi-member group —
+	// their patterns were never enumerated separately.
+	SharedGFDs int
+	// MatchesReused counts match deliveries beyond the first per enumerated
+	// match: for a match shared by an m-member group, m−1 re-enumerations
+	// that never happened.
+	MatchesReused int
+	// PrefixFamilies counts sets of distinct patterns that additionally
+	// shared a common search prefix (see match.EnumerateGrouped).
+	PrefixFamilies int
+}
+
+// grouping buckets Σ by pattern structure — or into per-GFD singletons
+// under a PerGFD ablation flag.
+func grouping(set *gfd.Set, perGFD bool) []gfd.Group {
+	if perGFD {
+		gs := make([]gfd.Group, set.Len())
+		for i, phi := range set.GFDs {
+			gs[i] = gfd.Group{Pattern: phi.Pattern, Members: []int{i}}
+		}
+		return gs
+	}
+	return set.Groups()
+}
+
+// literalSpecs translates gfd literals into the match-level form the
+// compiled evaluator consumes.
+func literalSpecs(ls []gfd.Literal) []match.LiteralSpec {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := make([]match.LiteralSpec, len(ls))
+	for i, l := range ls {
+		if l.Kind == gfd.ConstLiteral {
+			out[i] = match.LiteralSpec{IsConst: true, V1: l.X, A1: l.A, Const: l.Const}
+		} else {
+			out[i] = match.LiteralSpec{V1: l.X, A1: l.A, V2: l.Y, A2: l.B}
+		}
+	}
+	return out
+}
+
+// compileGroupLiterals builds (or fetches off the plan) the group's literal
+// program: one slot per distinct (variable, attribute) pair across all
+// members.
+func compileGroupLiterals(set *gfd.Set, grp gfd.Group, pl *match.Plan) *match.LiteralEval {
+	build := func() *match.LiteralEval {
+		members := make([]match.MemberLiterals, len(grp.Members))
+		for i, mi := range grp.Members {
+			phi := set.GFDs[mi]
+			members[i] = match.MemberLiterals{X: literalSpecs(phi.X), Y: literalSpecs(phi.Y)}
+		}
+		return match.CompileLiterals(members)
+	}
+	if pl == nil {
+		return build()
+	}
+	// The first member is a stable identity for the group's literal content:
+	// Σ is immutable while in use, so (plan, first GFD) → same program.
+	return pl.Literals(set.GFDs[grp.Members[0]], build)
+}
+
+// ViolationsOpts is ViolationsCtx with explicit evaluation options and
+// sharing statistics. The violation list is identical to the per-GFD
+// evaluation, violation for violation, in Σ-then-enumeration order.
+func ViolationsOpts(ctx context.Context, g graph.Reader, set *gfd.Set, opt VerifyOptions) ([]Violation, VerifyStats, error) {
+	if opt.PerGFD {
+		out, err := violationsPerGFD(ctx, g, set, opt.Plans)
+		return out, VerifyStats{}, err
+	}
+	groups := set.Groups()
+	st := VerifyStats{Groups: len(groups)}
+
+	pgs := make([]match.PatternGroup, len(groups))
+	progs := make([]*match.LiteralEval, len(groups))
+	scratch := make([]*match.LiteralScratch, len(groups))
+	for gi, grp := range groups {
+		var pl *match.Plan
+		if opt.Plans != nil {
+			pl = opt.Plans.Get(grp.Pattern, g)
+		}
+		pgs[gi] = match.PatternGroup{Pattern: grp.Pattern, Plan: pl}
+		progs[gi] = compileGroupLiterals(set, grp, pl)
+		scratch[gi] = progs[gi].NewScratch()
+		if len(grp.Members) > 1 {
+			st.SharedGFDs += len(grp.Members)
+		}
+	}
+
+	perGFD := make([][]Violation, set.Len())
+	enumSt, err := match.EnumerateGrouped(ctx, g, pgs, func(gi int, h match.Assignment) bool {
+		grp := groups[gi]
+		prog, scr := progs[gi], scratch[gi]
+		scr.Begin()
+		for i, mi := range grp.Members {
+			if prog.Violates(i, g, h, scr) {
+				perGFD[mi] = append(perGFD[mi], Violation{GFD: set.GFDs[mi], Match: h})
+			}
+		}
+		st.MatchesReused += len(grp.Members) - 1
+		return true
+	})
+	st.PrefixFamilies = enumSt.Families
+
+	// Assemble in Σ order; within a GFD the grouped enumeration already
+	// delivered matches in the standalone enumeration order.
+	var out []Violation
+	for i := range perGFD {
+		out = append(out, perGFD[i]...)
+	}
+	if err != nil {
+		return out, st, canceledErr(err)
+	}
+	return out, st, nil
+}
+
+// violationsPerGFD is the ungrouped ablation: every GFD enumerated and
+// checked independently (the pre-sharing code path).
+func violationsPerGFD(ctx context.Context, g graph.Reader, set *gfd.Set, plans *match.PlanCache) ([]Violation, error) {
+	var out []Violation
+	for _, phi := range set.GFDs {
+		if err := ctx.Err(); err != nil {
+			return out, canceledErr(err)
+		}
+		var pl *match.Plan
+		if plans != nil {
+			pl = plans.Get(phi.Pattern, g)
+		}
+		s := match.NewSearch(phi.Pattern, g, match.Options{Plan: pl, Ctx: ctx})
+		for {
+			h, ok := s.Next()
+			if !ok {
+				if err := s.Err(); err != nil {
+					return out, canceledErr(err)
+				}
+				break
+			}
+			if holdsLiterals(g, h, phi.X) && !holdsLiterals(g, h, phi.Y) {
+				out = append(out, Violation{GFD: phi, Match: h})
+			}
+		}
+	}
+	return out, nil
+}

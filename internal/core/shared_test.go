@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestGroupedViolationsMatchPerGFD is the shared-evaluation equivalence
+// property for validation: on generated sets with duplicated and
+// prefix-overlapping patterns, grouped evaluation must reproduce the
+// per-GFD ablation violation for violation, in order, on every storage
+// tier. It also pins that sharing actually happened — a grouping that
+// degenerates to singletons would pass equivalence vacuously.
+func TestGroupedViolationsMatchPerGFD(t *testing.T) {
+	ctx := context.Background()
+	sharedGFDs, reused, total := 0, 0, 0
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed * 7))
+		gr := gen.New(gen.Config{N: 15, K: 5, L: 2, Profile: dataset.DBpedia(), WildcardRate: 0.2, Seed: seed})
+		set := gr.SharedValidationSet(4, 6)
+		if set.Len() == 0 {
+			continue
+		}
+		g := gr.DenseGraph(900, 6)
+		perturb(rng, g, 20)
+		frozen := g.Frozen()
+		d := gr.DenseDelta(frozen, 30)
+		tiers := []struct {
+			name string
+			data graph.Reader
+		}{
+			{"mutable", g},
+			{"frozen", frozen},
+			{"sharded", frozen.Sharded(3)},
+			{"overlay", d.Overlay()},
+		}
+		for _, tier := range tiers {
+			per, _, err := ViolationsOpts(ctx, tier.data, set, VerifyOptions{PerGFD: true})
+			if err != nil {
+				t.Fatalf("seed=%d %s: per-GFD: %v", seed, tier.name, err)
+			}
+			grouped, gst, err := ViolationsOpts(ctx, tier.data, set, VerifyOptions{})
+			if err != nil {
+				t.Fatalf("seed=%d %s: grouped: %v", seed, tier.name, err)
+			}
+			if !violationsEqual(grouped, per) {
+				t.Fatalf("seed=%d %s: grouped %d violations != per-GFD %d", seed, tier.name, len(grouped), len(per))
+			}
+			if gst.Groups >= set.Len() {
+				t.Fatalf("seed=%d %s: %d groups for %d GFDs; no sharing", seed, tier.name, gst.Groups, set.Len())
+			}
+			sharedGFDs += gst.SharedGFDs
+			reused += gst.MatchesReused
+			total += len(grouped)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no violations in any instance; equivalence test is vacuous")
+	}
+	if sharedGFDs == 0 || reused == 0 {
+		t.Fatalf("sharing never fired: sharedGFDs=%d matchesReused=%d", sharedGFDs, reused)
+	}
+}
+
+// TestGroupedSatImpMatchPerGFD pins that ParSat and ParImp return the same
+// answers with shared group evaluation as with the per-GFD ablation, under
+// both executors, on sets where every pattern shape carries several GFDs.
+// The sequential algorithms are the oracle.
+func TestGroupedSatImpMatchPerGFD(t *testing.T) {
+	groupsShared := 0
+	for seed := int64(0); seed < 3; seed++ {
+		for _, conflicts := range []int{0, 1} {
+			gr := gen.New(gen.Config{N: 10, K: 4, L: 3, Seed: seed, Conflicts: conflicts})
+			set := gr.SharedSet(2)
+			wantSat := SeqSat(set).Satisfiable
+			phi := gr.ImpliedGFD(set)
+			wantImp := SeqImp(set, phi).Implied
+			for _, stealing := range []bool{false, true} {
+				for _, perGFD := range []bool{false, true} {
+					opt := DefaultParOptions(4)
+					opt.Stealing = stealing
+					opt.PerGFD = perGFD
+					name := fmt.Sprintf("seed=%d conflicts=%d stealing=%v perGFD=%v", seed, conflicts, stealing, perGFD)
+					sr := ParSat(set, opt)
+					if sr.Err != nil {
+						t.Fatalf("%s: ParSat: %v", name, sr.Err)
+					}
+					if sr.Satisfiable != wantSat {
+						t.Fatalf("%s: ParSat=%v, SeqSat=%v", name, sr.Satisfiable, wantSat)
+					}
+					if !perGFD {
+						groupsShared += sr.Stats.GroupsShared
+					}
+					ir := ParImp(set, phi, opt)
+					if ir.Err != nil {
+						t.Fatalf("%s: ParImp: %v", name, ir.Err)
+					}
+					if ir.Implied != wantImp {
+						t.Fatalf("%s: ParImp=%v, SeqImp=%v", name, ir.Implied, wantImp)
+					}
+				}
+			}
+		}
+	}
+	if groupsShared == 0 {
+		t.Fatal("no grouped ParSat run ever shared a pattern group; test is vacuous")
+	}
+}
+
+// TestGroupedRevalidateMatchesPerGFD pins incremental revalidation: after a
+// random update stream over a perturbed graph, grouped revalidation (one
+// neighborhood and one scoped enumeration per pattern group, carry-over
+// scattered per member) must equal the per-GFD ablation and the full
+// recomputation exactly — sequentially and in parallel.
+func TestGroupedRevalidateMatchesPerGFD(t *testing.T) {
+	reused, total := 0, 0
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed * 13))
+		gr := gen.New(gen.Config{N: 20, K: 6, L: 2, Profile: dataset.DBpedia(), Seed: seed})
+		set := gr.SharedValidationSet(4, 5)
+		if set.Len() == 0 {
+			continue
+		}
+		g := gr.DenseGraph(1000, 8)
+		perturb(rng, g, 25)
+		base := g.Frozen()
+		prev := Violations(base, set)
+		d := gr.DenseDelta(base, 40)
+		want := Violations(d.Overlay(), set)
+		per, _, err := RevalidateDelta(set, d, prev, RevalidateOptions{PerGFD: true})
+		if err != nil {
+			t.Fatalf("seed=%d: per-GFD revalidate: %v", seed, err)
+		}
+		if !violationsEqual(per, want) {
+			t.Fatalf("seed=%d: per-GFD revalidate diverges from full recompute", seed)
+		}
+		grouped, gst, err := RevalidateDelta(set, d, prev, RevalidateOptions{})
+		if err != nil {
+			t.Fatalf("seed=%d: grouped revalidate: %v", seed, err)
+		}
+		if !violationsEqual(grouped, per) {
+			t.Fatalf("seed=%d: grouped %d violations != per-GFD %d", seed, len(grouped), len(per))
+		}
+		if gst.Groups >= set.Len() {
+			t.Fatalf("seed=%d: %d groups for %d GFDs; no sharing", seed, gst.Groups, set.Len())
+		}
+		groupedPar, _, err := RevalidateDelta(set, d, prev, RevalidateOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("seed=%d: grouped parallel revalidate: %v", seed, err)
+		}
+		if !violationsEqual(groupedPar, per) {
+			t.Fatalf("seed=%d: grouped parallel revalidate diverges", seed)
+		}
+		reused += gst.MatchesReused
+		total += len(want) + len(prev)
+	}
+	if total == 0 {
+		t.Fatal("no violations in any instance; equivalence test is vacuous")
+	}
+	if reused == 0 {
+		t.Fatal("grouped revalidation never reused a match; test is vacuous")
+	}
+}

@@ -44,31 +44,15 @@ func Violations(g graph.Reader, set *gfd.Set) []Violation {
 }
 
 // ViolationsCtx is Violations under a deadline: the enumeration polls ctx
-// between GFDs and every few hundred match-frame expansions, returning
-// ErrCanceled or the context's deadline error (and whatever violations were
-// already found) once it fires. The checker commands use it to bound
-// validation over large graphs.
+// every few hundred match-frame expansions, returning ErrCanceled or the
+// context's deadline error (and whatever violations were already found)
+// once it fires. The checker commands use it to bound validation over large
+// graphs. Evaluation is shared across GFDs with equal pattern structures
+// (see ViolationsOpts); the result is identical to checking each GFD
+// independently, in the same order.
 func ViolationsCtx(ctx context.Context, g graph.Reader, set *gfd.Set) ([]Violation, error) {
-	var out []Violation
-	for _, phi := range set.GFDs {
-		if err := ctx.Err(); err != nil {
-			return out, canceledErr(err)
-		}
-		s := match.NewSearch(phi.Pattern, g, match.Options{Ctx: ctx})
-		for {
-			h, ok := s.Next()
-			if !ok {
-				if err := s.Err(); err != nil {
-					return out, canceledErr(err)
-				}
-				break
-			}
-			if holdsLiterals(g, h, phi.X) && !holdsLiterals(g, h, phi.Y) {
-				out = append(out, Violation{GFD: phi, Match: h})
-			}
-		}
-	}
-	return out, nil
+	out, _, err := ViolationsOpts(ctx, g, set, VerifyOptions{})
+	return out, err
 }
 
 // holdsLiterals evaluates a literal set at a match against G's actual

@@ -630,6 +630,78 @@ func (g *Generator) ValidationSet(max int) *gfd.Set {
 	return set
 }
 
+// SharedValidationSet is ValidationSet with deliberate pattern sharing: up
+// to maxPatterns schema triangles, each carried by perPattern GFDs with
+// their own W-consistent literals. Members alternate between the shared
+// pattern value and a rebuilt structurally equal copy with fresh variable
+// names, so grouped evaluation must bucket by structure — pointer identity
+// would split every other member off. Clean Consistent/Dense graphs
+// materialized after this call satisfy the set (every literal agrees with
+// W); perturbing attributes or closing triangles creates violations. This
+// is the workload of the multi_gfd_speedup benchmark and the
+// grouped-equivalence tests.
+func (g *Generator) SharedValidationSet(maxPatterns, perPattern int) *gfd.Set {
+	if perPattern < 1 {
+		perPattern = 1
+	}
+	set := gfd.NewSet()
+	for i, p := range SchemaTriangles(g.frequentEdges, maxPatterns) {
+		for j := 0; j < perPattern; j++ {
+			q := p
+			if j%2 == 1 {
+				q = renamedCopy(p, fmt.Sprintf("r%d_%d", i, j))
+			}
+			x := pattern.Var(j % q.NumVars())
+			a := g.attrFor(q.Label(x))
+			var xs []gfd.Literal
+			if j%3 == 2 {
+				xs = []gfd.Literal{g.consistentLiteral(q)}
+			}
+			set.Add(newGFD(fmt.Sprintf("tri%d_%d", i, j), q, xs,
+				[]gfd.Literal{gfd.Const(x, a, g.wOf(q.Label(x), a))}))
+		}
+	}
+	return set
+}
+
+// SharedSet is Set with deliberate pattern sharing for the reasoning
+// algorithms: every member is followed by `copies` duplicates that keep its
+// X → Y literals but carry a rebuilt, structurally equal pattern with fresh
+// variable names. Satisfiability and implication answers are unchanged by
+// construction (the duplicates assert what the originals already assert),
+// so a run over the shared set must agree with the unshared semantics while
+// enumerating each pattern shape once per group.
+func (g *Generator) SharedSet(copies int) *gfd.Set {
+	base := g.Set()
+	if copies < 1 {
+		return base
+	}
+	set := gfd.NewSet()
+	for i, phi := range base.GFDs {
+		set.Add(phi)
+		for c := 1; c <= copies; c++ {
+			q := renamedCopy(phi.Pattern, fmt.Sprintf("d%d_%d", i, c))
+			set.Add(newGFD(fmt.Sprintf("%s-dup%d", phi.Name, c), q,
+				append([]gfd.Literal{}, phi.X...),
+				append([]gfd.Literal{}, phi.Y...)))
+		}
+	}
+	return set
+}
+
+// renamedCopy rebuilds p with fresh variable names: a distinct,
+// structurally equal pattern value.
+func renamedCopy(p *pattern.Pattern, prefix string) *pattern.Pattern {
+	q := pattern.New()
+	for v := 0; v < p.NumVars(); v++ {
+		q.AddVar(fmt.Sprintf("%s_%d", prefix, v), p.Label(pattern.Var(v)))
+	}
+	for _, e := range p.Edges() {
+		q.AddEdge(e.From, e.To, e.Label)
+	}
+	return q
+}
+
 // MutateDelta applies n random updates to the delta, schema-consistent like
 // the base materializations: added nodes carry W-consistent attributes and
 // wire into the schema, added edges follow the frequent-edge triples,

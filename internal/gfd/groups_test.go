@@ -1,0 +1,56 @@
+package gfd_test
+
+import (
+	"testing"
+
+	"repro/internal/gfd"
+	"repro/internal/pattern"
+)
+
+func chainPattern(labels ...string) *pattern.Pattern {
+	p := pattern.New()
+	var prev pattern.Var
+	for i, l := range labels {
+		v := p.AddVar(string(rune('a'+i)), l)
+		if i > 0 {
+			p.AddEdge(prev, v, "e")
+		}
+		prev = v
+	}
+	return p
+}
+
+// TestSetGroups pins the grouping semantics: same pattern value groups,
+// structurally equal distinct values group, structurally different patterns
+// do not, and both group order and member order follow Σ order.
+func TestSetGroups(t *testing.T) {
+	shared := chainPattern("a", "b")
+	sharedCopy := chainPattern("a", "b") // distinct value, equal structure
+	other := chainPattern("a", "c")
+
+	set := gfd.NewSet(
+		gfd.MustNew("g0", shared, nil, []gfd.Literal{gfd.Const(0, "k", "v")}),
+		gfd.MustNew("g1", other, nil, []gfd.Literal{gfd.Const(0, "k", "v")}),
+		gfd.MustNew("g2", sharedCopy, nil, []gfd.Literal{gfd.Const(1, "k", "w")}),
+		gfd.MustNew("g3", shared, []gfd.Literal{gfd.Const(0, "k", "v")}, []gfd.Literal{gfd.Const(1, "k", "w")}),
+	)
+	groups := set.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(groups), groups)
+	}
+	if groups[0].Pattern != shared {
+		t.Fatal("group 0 representative is not the first member's pattern value")
+	}
+	wantMembers := [][]int{{0, 2, 3}, {1}}
+	for gi, want := range wantMembers {
+		got := groups[gi].Members
+		if len(got) != len(want) {
+			t.Fatalf("group %d members %v, want %v", gi, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("group %d members %v, want %v", gi, got, want)
+			}
+		}
+	}
+}

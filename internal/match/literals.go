@@ -1,0 +1,194 @@
+// Compiled literal programs for group evaluation. When several GFDs share
+// one pattern, a grouped search enumerates the pattern's matches once and
+// evaluates each member's X → Y literals per match; the naive walk fetches
+// g.Attr(h[x], "A") again for every literal that mentions x.A. A
+// LiteralEval interns every distinct (variable, attribute) pair across the
+// whole group into a slot fetched at most once per match, and compiles each
+// member's literal sets into slot-index comparisons, so per-match literal
+// cost is one attribute lookup per distinct pair actually touched — not one
+// per literal occurrence per member.
+package match
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// LiteralSpec is a pattern-attribute literal in match-level form: x.A = c
+// when IsConst, x.A = y.B otherwise. It mirrors the gfd literal without
+// importing it — match sits below gfd in the dependency order; core
+// translates.
+type LiteralSpec struct {
+	IsConst bool
+	V1      pattern.Var
+	A1      string
+	Const   string      // IsConst only
+	V2      pattern.Var // !IsConst only
+	A2      string
+}
+
+// MemberLiterals is one group member's antecedent and consequent over the
+// shared pattern.
+type MemberLiterals struct {
+	X []LiteralSpec
+	Y []LiteralSpec
+}
+
+// litRef is one compiled literal: a slot comparison.
+type litRef struct {
+	slot1   int
+	isConst bool
+	constV  string
+	slot2   int
+}
+
+type memberProg struct {
+	x, y []litRef
+}
+
+// LiteralEval is the compiled literal program of one pattern group. It is
+// immutable after CompileLiterals and safe to share across goroutines; the
+// mutable per-match state lives in a LiteralScratch.
+type LiteralEval struct {
+	slotVar  []pattern.Var
+	slotAttr []string
+	members  []memberProg
+}
+
+// slotKey identifies one interned (variable, attribute) pair.
+type slotKey struct {
+	v    pattern.Var
+	attr string
+}
+
+// CompileLiterals interns the distinct (variable, attribute) pairs across
+// all members' literals and compiles each member's X → Y sets into slot
+// references.
+func CompileLiterals(members []MemberLiterals) *LiteralEval {
+	e := &LiteralEval{members: make([]memberProg, len(members))}
+	slots := make(map[slotKey]int)
+	for mi, m := range members {
+		prog := &e.members[mi]
+		for _, l := range m.X {
+			prog.x = append(prog.x, e.compileLit(slots, l))
+		}
+		for _, l := range m.Y {
+			prog.y = append(prog.y, e.compileLit(slots, l))
+		}
+	}
+	return e
+}
+
+func (e *LiteralEval) internSlot(slots map[slotKey]int, v pattern.Var, attr string) int {
+	key := slotKey{v: v, attr: attr}
+	if i, ok := slots[key]; ok {
+		return i
+	}
+	i := len(e.slotVar)
+	slots[key] = i
+	e.slotVar = append(e.slotVar, v)
+	e.slotAttr = append(e.slotAttr, attr)
+	return i
+}
+
+func (e *LiteralEval) compileLit(slots map[slotKey]int, l LiteralSpec) litRef {
+	r := litRef{slot1: e.internSlot(slots, l.V1, l.A1), isConst: l.IsConst}
+	if l.IsConst {
+		r.constV = l.Const
+	} else {
+		r.slot2 = e.internSlot(slots, l.V2, l.A2)
+	}
+	return r
+}
+
+// Slots returns the number of interned (variable, attribute) pairs.
+func (e *LiteralEval) Slots() int { return len(e.slotVar) }
+
+// LiteralScratch caches slot values for the current match. Not safe for
+// concurrent use — each worker keeps its own. Loads are lazy and memoized
+// per match via generation stamps, so short-circuited members never pay for
+// slots they do not read and Begin costs O(1).
+type LiteralScratch struct {
+	vals  []string
+	ok    []bool
+	stamp []uint32
+	gen   uint32
+}
+
+// NewScratch returns a scratch sized for the program.
+func (e *LiteralEval) NewScratch() *LiteralScratch {
+	n := len(e.slotVar)
+	return &LiteralScratch{
+		vals:  make([]string, n),
+		ok:    make([]bool, n),
+		stamp: make([]uint32, n),
+		gen:   1,
+	}
+}
+
+// Begin starts a new match: previously loaded slot values are forgotten.
+func (s *LiteralScratch) Begin() {
+	s.gen++
+	if s.gen == 0 { // wrapped: stamps may alias, reset them
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// load fetches slot i for the current match, at most once per Begin.
+func (s *LiteralScratch) load(e *LiteralEval, g graph.Reader, h Assignment, i int) (string, bool) {
+	if s.stamp[i] != s.gen {
+		s.vals[i], s.ok[i] = g.Attr(h[e.slotVar[i]], e.slotAttr[i])
+		s.stamp[i] = s.gen
+	}
+	return s.vals[i], s.ok[i]
+}
+
+// holds evaluates one compiled literal set with the standard semantics:
+// x.A = c holds iff the attribute exists with value c; x.A = y.B iff both
+// exist and are equal. Short-circuits on the first failing literal.
+func (e *LiteralEval) holds(refs []litRef, g graph.Reader, h Assignment, s *LiteralScratch) bool {
+	for _, r := range refs {
+		v1, ok1 := s.load(e, g, h, r.slot1)
+		if !ok1 {
+			return false
+		}
+		if r.isConst {
+			if v1 != r.constV {
+				return false
+			}
+			continue
+		}
+		v2, ok2 := s.load(e, g, h, r.slot2)
+		if !ok2 || v1 != v2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Violates reports whether member m violates the dependency at match h:
+// the antecedent holds and the consequent does not. The caller must bracket
+// each new match with scratch.Begin().
+func (e *LiteralEval) Violates(m int, g graph.Reader, h Assignment, s *LiteralScratch) bool {
+	prog := &e.members[m]
+	return e.holds(prog.x, g, h, s) && !e.holds(prog.y, g, h, s)
+}
+
+// Literals returns the literal program memoized on the plan under key,
+// compiling it with build on first use (or when the key changes — keys are
+// compared with ==, so callers pass something stable like the group's first
+// GFD). This keeps the compiled program as long-lived as the plan: service
+// workloads fetching plans through a PlanCache re-run groups against fresh
+// snapshots without recompiling their literal programs.
+func (pl *Plan) Literals(key any, build func() *LiteralEval) *LiteralEval {
+	pl.litMu.Lock()
+	defer pl.litMu.Unlock()
+	if pl.litProg == nil || pl.litKey != key {
+		pl.litProg = build()
+		pl.litKey = key
+	}
+	return pl.litProg
+}

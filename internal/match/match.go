@@ -219,7 +219,10 @@ func PivotedOrder(p *pattern.Pattern, pivots []pattern.Var) []pattern.Var {
 func NewSearch(p *pattern.Pattern, g graph.Reader, opts Options) *Search {
 	pl := opts.Plan
 	if pl != nil {
-		if pl.pat != p {
+		// Structurally equal patterns share plans (PlanCache keys by
+		// fingerprint): every planning artifact — resolved labels, orders,
+		// root frame — is positional, so it serves any StructuralEqual value.
+		if pl.pat != p && !pattern.StructuralEqual(pl.pat, p) {
 			panic("match: Options.Plan was compiled for a different pattern")
 		}
 		if !pl.validFor(g) {

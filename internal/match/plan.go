@@ -3,7 +3,7 @@
 // pivots, pulling and signature-pruning the root candidate frame — costs
 // more than executing a short selective query, and the service workloads
 // repeat the same patterns against the same snapshot. A Plan captures all
-// of it once; a PlanCache keys plans by pattern identity and revalidates
+// of it once; a PlanCache keys plans by pattern structure and revalidates
 // them against the reader's snapshot epoch on every fetch, so a Refreeze
 // or Compact (which mint new epochs) makes cached plans unreachable with
 // no invalidation hooks: the stale plan simply never matches again and is
@@ -44,6 +44,14 @@ type Plan struct {
 	// engine workloads seed every search and never open a root frame.
 	rootOnce  sync.Once
 	rootCands []graph.NodeID
+
+	// litMu/litKey/litProg memoize one compiled literal program on the plan
+	// (see Literals): group evaluation hoists the per-match literal walk into
+	// an attr-key-interned evaluator, and caching it here makes the
+	// compilation as reusable as the plan itself.
+	litMu   sync.Mutex
+	litKey  any
+	litProg *LiteralEval
 }
 
 // CompilePlan resolves p against g and returns the plan. The caller must
@@ -134,20 +142,34 @@ func (pl *Plan) root() []graph.NodeID {
 	return pl.rootCands
 }
 
-// PlanCache memoizes one Plan per pattern, revalidated against the
-// reader's epoch on every Get. The map is keyed by pattern pointer —
-// patterns are immutable after Freeze, so pointer identity is content
-// identity for the process — which also bounds the cache at one entry per
-// live pattern; a new snapshot epoch overwrites in place rather than
+// PlanCache memoizes one Plan per pattern structure, revalidated against
+// the reader's epoch on every Get. The map is keyed by pattern fingerprint
+// with the full structural-equality check behind the hash (see
+// pattern.StructuralEqual), so two structurally identical pattern values —
+// e.g. the same rule shape parsed from different GFDs — share one compiled
+// plan, and a 64-bit hash collision can never serve a plan across patterns
+// that differ. The cache stays bounded at one entry per live pattern
+// structure; a new snapshot epoch overwrites in place rather than
 // accumulating. Safe for concurrent use.
 type PlanCache struct {
 	mu    sync.RWMutex
-	plans map[*pattern.Pattern]*Plan
+	plans map[uint64][]*Plan // fingerprint → structurally distinct plans
 }
 
 // NewPlanCache returns an empty cache.
 func NewPlanCache() *PlanCache {
-	return &PlanCache{plans: make(map[*pattern.Pattern]*Plan)}
+	return &PlanCache{plans: make(map[uint64][]*Plan)}
+}
+
+// lookup scans a fingerprint bucket for p's structural entry. Callers hold
+// the lock.
+func (c *PlanCache) lookup(fp uint64, p *pattern.Pattern) (int, *Plan) {
+	for i, pl := range c.plans[fp] {
+		if pl.pat == p || pattern.StructuralEqual(pl.pat, p) {
+			return i, pl
+		}
+	}
+	return -1, nil
 }
 
 // Get returns a plan for (p, g), reusing the cached one when its epoch
@@ -161,22 +183,31 @@ func (c *PlanCache) Get(p *pattern.Pattern, g graph.Reader) *Plan {
 	if _, ok := g.(graph.EpochView); !ok {
 		return CompilePlan(p, g)
 	}
+	fp := p.Fingerprint()
 	c.mu.RLock()
-	pl := c.plans[p]
+	_, pl := c.lookup(fp, p)
 	c.mu.RUnlock()
 	if pl != nil && pl.validFor(g) {
 		return pl
 	}
 	pl = CompilePlan(p, g)
 	c.mu.Lock()
-	c.plans[p] = pl
+	if i, _ := c.lookup(fp, p); i >= 0 {
+		c.plans[fp][i] = pl
+	} else {
+		c.plans[fp] = append(c.plans[fp], pl)
+	}
 	c.mu.Unlock()
 	return pl
 }
 
-// Len returns the number of cached plans (one per pattern).
+// Len returns the number of cached plans (one per pattern structure).
 func (c *PlanCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.plans)
+	n := 0
+	for _, bucket := range c.plans {
+		n += len(bucket)
+	}
+	return n
 }

@@ -1,0 +1,205 @@
+package pattern_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pattern"
+)
+
+// rebuild returns a structurally identical pattern value with fresh
+// (different) variable names: the shape PlanCache and Set.Groups must unify.
+func rebuild(p *pattern.Pattern) *pattern.Pattern {
+	q := pattern.New()
+	for v := 0; v < p.NumVars(); v++ {
+		q.AddVar(fmt.Sprintf("rb%d", v), p.Label(pattern.Var(v)))
+	}
+	for _, e := range p.Edges() {
+		q.AddEdge(e.From, e.To, e.Label)
+	}
+	q.Freeze()
+	return q
+}
+
+// TestFingerprintStructuralEquality pins the contract the sharing layers
+// rely on: a rebuilt copy (new value, new names) has the same fingerprint
+// and is StructuralEqual, while any single-label or single-edge mutation
+// breaks StructuralEqual.
+func TestFingerprintStructuralEquality(t *testing.T) {
+	p := pattern.New()
+	x := p.AddVar("x", "person")
+	y := p.AddVar("y", "city")
+	z := p.AddVar("z", "person")
+	p.AddEdge(x, y, "lives_in")
+	p.AddEdge(z, y, "lives_in")
+	p.AddEdge(x, z, "knows")
+	p.AddEdge(x, x, "self")
+
+	q := rebuild(p)
+	if q == p {
+		t.Fatal("rebuild returned the same value")
+	}
+	if !pattern.StructuralEqual(p, q) {
+		t.Fatal("rebuilt copy not StructuralEqual")
+	}
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Fatalf("structurally equal patterns fingerprint differently: %x vs %x",
+			p.Fingerprint(), q.Fingerprint())
+	}
+
+	mutations := map[string]func(*pattern.Pattern){
+		"label":      func(m *pattern.Pattern) { m.AddVar("extra", "person") },
+		"edge label": func(m *pattern.Pattern) { m.AddEdge(0, 1, "works_in") },
+		"edge":       func(m *pattern.Pattern) { m.AddEdge(1, 0, "lives_in") },
+	}
+	for name, mutate := range mutations {
+		m := pattern.New()
+		for v := 0; v < p.NumVars(); v++ {
+			m.AddVar(fmt.Sprintf("m%d", v), p.Label(pattern.Var(v)))
+		}
+		for _, e := range p.Edges() {
+			m.AddEdge(e.From, e.To, e.Label)
+		}
+		mutate(m)
+		if pattern.StructuralEqual(p, m) {
+			t.Errorf("%s mutation still StructuralEqual", name)
+		}
+	}
+}
+
+// TestFingerprintRenumberingInvariance checks the canonical order does its
+// job on a simple asymmetric isomorphism: the same path declared in two
+// different variable orders fingerprints identically.
+func TestFingerprintRenumberingInvariance(t *testing.T) {
+	a := pattern.New()
+	a1 := a.AddVar("a1", "s")
+	a2 := a.AddVar("a2", "t")
+	a3 := a.AddVar("a3", "u")
+	a.AddEdge(a1, a2, "e")
+	a.AddEdge(a2, a3, "f")
+
+	b := pattern.New()
+	b3 := b.AddVar("b3", "u")
+	b1 := b.AddVar("b1", "s")
+	b2 := b.AddVar("b2", "t")
+	b.AddEdge(b1, b2, "e")
+	b.AddEdge(b2, b3, "f")
+
+	if pattern.StructuralEqual(a, b) {
+		t.Fatal("renumbered patterns should not be positionally equal")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("isomorphic renumbering changed the fingerprint: %x vs %x",
+			a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestFingerprintNoCollisions exercises the structural-equality guard on a
+// randomized corpus: across many generated patterns, any two that share a
+// fingerprint must be isomorphic-or-equal in the weak positional sense we
+// can decide (StructuralEqual), or at minimum must never be conflated by the
+// guard itself. The test asserts the contract consumers depend on — equal
+// fingerprint + StructuralEqual == same bucket member — and flags hash
+// collisions between patterns of visibly different shape (var/edge counts),
+// which canonicalization can never merge.
+func TestFingerprintNoCollisions(t *testing.T) {
+	type entry struct {
+		p  *pattern.Pattern
+		fp uint64
+	}
+	var corpus []entry
+	for seed := int64(1); seed <= 30; seed++ {
+		gr := gen.New(gen.Config{N: 20, K: 5, L: 3, WildcardRate: 0.2, Seed: seed})
+		for i := 0; i < 12; i++ {
+			p := gr.Pattern()
+			corpus = append(corpus, entry{p: p, fp: p.Fingerprint()})
+		}
+	}
+	byFP := make(map[uint64][]*pattern.Pattern)
+	for _, e := range corpus {
+		byFP[e.fp] = append(byFP[e.fp], e.p)
+	}
+	distinctShapes := 0
+	for fp, ps := range byFP {
+		for i := 1; i < len(ps); i++ {
+			if pattern.StructuralEqual(ps[0], ps[i]) {
+				continue
+			}
+			// Same fingerprint but not positionally equal: tolerable only
+			// for genuine isomorphisms; identical var/edge counts are a
+			// necessary condition, so a count mismatch is a hard collision.
+			if ps[0].NumVars() != ps[i].NumVars() || len(ps[0].Edges()) != len(ps[i].Edges()) {
+				t.Fatalf("fingerprint %x collides across different shapes:\n  %s\n  %s",
+					fp, ps[0], ps[i])
+			}
+		}
+	}
+	// The corpus must actually contain diversity for the test to mean much.
+	for _, e := range corpus {
+		if e.p.NumVars() != corpus[0].p.NumVars() || len(e.p.Edges()) != len(corpus[0].p.Edges()) {
+			distinctShapes++
+		}
+	}
+	if len(byFP) < 10 || distinctShapes == 0 {
+		t.Fatalf("corpus too uniform to exercise collisions: %d buckets, %d off-shape patterns",
+			len(byFP), distinctShapes)
+	}
+}
+
+// TestOrderFrames pins the frame decomposition: every pattern edge appears
+// in exactly one frame, at the position of its later-ordered endpoint, and
+// FramePrefixLen detects exactly where two orders diverge.
+func TestOrderFrames(t *testing.T) {
+	p := pattern.New()
+	x := p.AddVar("x", "a")
+	y := p.AddVar("y", "b")
+	z := p.AddVar("z", "c")
+	p.AddEdge(x, y, "e")
+	p.AddEdge(z, y, "f")
+	p.AddEdge(x, x, "self")
+
+	order := []pattern.Var{x, y, z}
+	frames := p.OrderFrames(order)
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	total := 0
+	for _, f := range frames {
+		total += len(f.Edges)
+	}
+	if total != len(p.Edges()) {
+		t.Fatalf("frames carry %d edges, pattern has %d", total, len(p.Edges()))
+	}
+	// Frame 0: x with its self-loop (counted once, as Out at Pos 0).
+	if frames[0].Label != "a" || len(frames[0].Edges) != 1 ||
+		frames[0].Edges[0] != (pattern.FrameEdge{Out: true, Pos: 0, Label: "self"}) {
+		t.Fatalf("frame 0 wrong: %+v", frames[0])
+	}
+	// Frame 1: y receives x->y (In edge from pos 0).
+	if frames[1].Label != "b" || len(frames[1].Edges) != 1 ||
+		frames[1].Edges[0] != (pattern.FrameEdge{Out: false, Pos: 0, Label: "e"}) {
+		t.Fatalf("frame 1 wrong: %+v", frames[1])
+	}
+	// Frame 2: z sends z->y (Out edge to pos 1).
+	if frames[2].Label != "c" || len(frames[2].Edges) != 1 ||
+		frames[2].Edges[0] != (pattern.FrameEdge{Out: true, Pos: 1, Label: "f"}) {
+		t.Fatalf("frame 2 wrong: %+v", frames[2])
+	}
+
+	// A pattern agreeing on the first two frames but diverging at the third.
+	q := pattern.New()
+	qx := q.AddVar("qx", "a")
+	qy := q.AddVar("qy", "b")
+	qw := q.AddVar("qw", "d")
+	q.AddEdge(qx, qy, "e")
+	q.AddEdge(qw, qy, "f")
+	q.AddEdge(qx, qx, "self")
+	qframes := q.OrderFrames([]pattern.Var{qx, qy, qw})
+	if got := pattern.FramePrefixLen(frames, qframes); got != 2 {
+		t.Fatalf("FramePrefixLen = %d, want 2 (labels diverge at frame 2)", got)
+	}
+	if got := pattern.FramePrefixLen(frames, frames); got != 3 {
+		t.Fatalf("self prefix = %d, want 3", got)
+	}
+}

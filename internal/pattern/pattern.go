@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -41,6 +42,11 @@ type Pattern struct {
 	components [][]Var           // connected components (undirected), each sorted
 	radius     []int             // eccentricity of each var within its component
 	sigs       []graph.Signature // per-var adjacency requirement for pruning
+
+	// fp caches Fingerprint (immutable once frozen; the Once makes the
+	// lazy computation safe under concurrent first calls).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // New returns an empty pattern.

@@ -46,6 +46,47 @@ func callInLoopHeader(f *graph.Frozen) {
 	}
 }
 
+// Group-evaluation shape: shared multi-GFD validation iterates pattern
+// groups and enumerates each group's pattern once. Fetching the seed
+// candidates inside the group loop re-copies per group — exactly the
+// allocation the grouped engines exist to avoid.
+func groupEvaluationLoop(f *graph.Frozen, groups [][]int) int {
+	total := 0
+	for _, members := range groups {
+		seeds := f.CandidateNodes("person") // want "allocates a fresh copy every loop iteration"
+		for range members {
+			total += len(seeds)
+		}
+	}
+	return total
+}
+
+// The member fan-out inside a group is a nested loop; a copy taken there
+// allocates once per (group, member) pair and is still flagged.
+func memberFanOut(f *graph.Frozen, groups [][]int) int {
+	total := 0
+	for _, members := range groups {
+		for range members {
+			total += len(f.NodesByLabel("city")) // want "allocates a fresh copy every loop iteration"
+		}
+	}
+	return total
+}
+
+// How the grouped engines do it: hoist one buffer for the whole sweep and
+// refill it with AppendCandidates per group. Clean.
+func groupEvaluationHoisted(f *graph.Frozen, groups [][]int) int {
+	total := 0
+	var buf []graph.NodeID
+	for _, members := range groups {
+		buf = f.AppendCandidates(buf[:0], "person")
+		for range members {
+			total += len(buf)
+		}
+	}
+	return total
+}
+
 // Retained per-iteration copies are the documented escape hatch.
 func retainedCopies(f *graph.Frozen, labels []string) [][]graph.NodeID {
 	var parts [][]graph.NodeID

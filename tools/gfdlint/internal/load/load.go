@@ -226,7 +226,14 @@ func (pi *pkgImporter) Import(path string) (*types.Package, error) {
 	if p, ok := pi.ld.src[actual]; ok {
 		return p, nil
 	}
-	if lp := pi.ld.index[actual]; lp != nil && lp.Export == "" {
+	// Test variants ("p [q.test]") must be typechecked from source even when
+	// the build cache holds export data for them: their imports resolve
+	// through their own ImportMap to the source-checked package-under-test
+	// variant, while gc export data would rebind those imports to the plain
+	// gc-imported package — a distinct types.Package, so every type that
+	// flows through the variant (e.g. a generator returning *pattern.Pattern
+	// inside pattern's external test) would fail identity checks.
+	if lp := pi.ld.index[actual]; lp != nil && (lp.Export == "" || lp.ForTest != "") {
 		p, err := pi.ld.check(lp)
 		if err != nil {
 			return nil, err
