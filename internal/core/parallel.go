@@ -197,6 +197,15 @@ type parEngine struct {
 // draining (finishRun drains until every worker has exited, and the sender's
 // goroutine exit strictly follows this send), so it never deadlocks.
 func (e *parEngine) recordPanic(worker int, v any) {
+	e.setPanic(worker, v)
+	e.events <- cevent{kind: evPanic, worker: worker}
+}
+
+// setPanic is the coordinator-free half of recordPanic: record the failure
+// and stop the siblings without touching e.events. Goroutines that run
+// before the coordinator exists (the buildUnits simulation pool) use it
+// directly; run() checks failure() before spawning anything.
+func (e *parEngine) setPanic(worker int, v any) {
 	pe := &PanicError{Worker: worker, Value: v, Stack: debug.Stack()}
 	e.failMu.Lock()
 	if e.fail == nil {
@@ -207,7 +216,6 @@ func (e *parEngine) recordPanic(worker int, v any) {
 	if st := e.steal; st != nil {
 		st.wake()
 	}
-	e.events <- cevent{kind: evPanic, worker: worker}
 }
 
 // failure returns the error the run must end with, if any: a recorded
@@ -393,8 +401,17 @@ func (e *parEngine) buildUnits() {
 		var wg sync.WaitGroup
 		for w := 0; w < p; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				// Panic isolation: this pool runs before the coordinator
+				// and its event channel exist, so a panic in Simulate is
+				// recorded directly and surfaces when run() checks
+				// failure() — not as a process crash.
+				defer func() {
+					if r := recover(); r != nil {
+						e.setPanic(w, r)
+					}
+				}()
 				for i := range jobs {
 					if sim := match.Simulate(e.groups[i].Pattern, e.g); sim != nil {
 						e.sims[i] = sim
@@ -402,7 +419,7 @@ func (e *parEngine) buildUnits() {
 						simFailed[i] = true
 					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -544,6 +561,15 @@ func (e *parEngine) rankUnits() {
 // Options.Stealing; both executors share the unit semantics, the broadcast
 // log and the finalize protocol, and decide identically.
 func (e *parEngine) run() (con *eq.Conflict, goalHit bool, final *eq.Eq, stats Stats, err error) {
+	e.failMu.Lock()
+	ferr := e.fail
+	e.failMu.Unlock()
+	if ferr != nil {
+		// A buildUnits pool goroutine panicked before the coordinator
+		// existed; fail the run with its PanicError instead of running on
+		// partial units. (failure() is unusable here: e.ctx is not set yet.)
+		return nil, false, nil, Stats{}, ferr
+	}
 	e.ctx = e.opt.Ctx
 	if e.ctx == nil {
 		e.ctx = context.Background()

@@ -78,16 +78,34 @@ func forEachPart(parts [][]graph.NodeID, workers int, body func(int)) {
 	}
 	close(jobs)
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Panic isolation: capture the first worker panic and re-raise
+			// it on the caller's goroutine after the join, so the engine's
+			// recover guard (or the test binary) sees it instead of the
+			// process dying on an unattended goroutine.
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			for i := range jobs {
 				body(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // FindAllSharded enumerates every homomorphism of p into the sharded
