@@ -268,13 +268,12 @@ func CompleteModel(g *graph.Graph, e *eq.Eq, reserved []string) *graph.Graph {
 		mem := e.Members(t)
 		c, ok := e.Const(t)
 		if !ok {
-			for {
-				c = freshConst(fresh)
+			// Bounded by construction: seen is finite, fresh only grows.
+			for seen[freshConst(fresh)] {
 				fresh++
-				if !seen[c] {
-					break
-				}
 			}
+			c = freshConst(fresh)
+			fresh++
 		}
 		seen[c] = true
 		for _, u := range mem {
