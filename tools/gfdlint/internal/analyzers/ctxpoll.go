@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/gfdlint/internal/cfg"
+	"repro/tools/gfdlint/internal/dataflow"
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// CtxPkgs is the comma-separated package-path suffix list CtxPoll covers.
+// The cancellation contract binds the engine packages; "*" covers all.
+var CtxPkgs = "internal/core,internal/match"
+
+// CtxPoll enforces the PR-8 cooperative-cancellation contract: every
+// unbounded loop (`for { ... }` with no condition) in the engine packages
+// must reach a cancellation poll on every path through an iteration. A poll
+// is a channel operation (receive, select, range over a channel — a blocked
+// loop is not a spinning loop), a context Err/Done check, a Search.Next/Err
+// style cross-package iterator step (those poll internally), a stop-flag
+// atomic Load, a call through a function value (conservatively assumed to
+// poll), or a call to an in-package function that itself polls — the
+// summary propagates through the package call graph, so the poll can hide
+// any number of in-package calls deep. The analyzer builds the loop's CFG
+// region and asks whether the back-edge is reachable from the loop head
+// without passing a polling block; if so, one iteration can run with the
+// context already canceled and the engine has lost its cancellation bound.
+var CtxPoll = &lint.Analyzer{
+	Name:          "ctxpoll",
+	Doc:           "flags unbounded engine loops that can complete an iteration without polling cancellation",
+	SkipTestFiles: true,
+	Run:           runCtxPoll,
+}
+
+func runCtxPoll(pass *lint.Pass) {
+	if !pkgEnabled(pass.Pkg.Path(), CtxPkgs) {
+		return
+	}
+	cg := dataflow.BuildCallGraph(pass.Files, pass.Info)
+	polls := cg.Mark(func(fn *dataflow.FuncNode, n ast.Node) bool {
+		return pollSeed(pass, n)
+	})
+	nodePolls := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if m == nil {
+				return true
+			}
+			if pollSeed(pass, m) {
+				found = true
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if callee := cg.ResolveCall(call); callee != nil && polls[callee] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	blockPolls := func(b *cfg.Block) bool {
+		for _, n := range b.Nodes {
+			if nodePolls(n) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, fn := range cg.Funcs() {
+		g := cfg.New(fn.Body)
+		for _, loop := range g.Loops {
+			fs, ok := loop.Stmt.(*ast.ForStmt)
+			if !ok || fs.Cond != nil || len(loop.Latches) == 0 {
+				continue // bounded or conditioned loops state their own exit
+			}
+			body := loop.Body()
+			latches := make(map[*cfg.Block]bool, len(loop.Latches))
+			for _, l := range loop.Latches {
+				latches[l] = true
+			}
+			if dataflow.ReachesWithout(loop.Head, latches, body, blockPolls) {
+				pass.Reportf(fs.Pos(), "unbounded loop can complete an iteration without polling cancellation (ctx.Err/Done, Search.Next/Err, a stop-flag Load, or a channel operation); the engine cancellation contract requires a poll on every path")
+			}
+		}
+	}
+}
+
+// pollSeed reports whether a node is, by itself, a cancellation poll.
+// In-package calls are not seeds — the call-graph fixpoint handles them.
+func pollSeed(pass *lint.Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		return true
+	case *ast.SendStmt:
+		return false // sending does not observe cancellation
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW
+	case *ast.RangeStmt:
+		if t := pass.Info.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.Info, n)
+		if fn == nil {
+			// Not a plain func/method: a conversion is no poll, but a call
+			// through a function value (stop func() bool, injected hooks)
+			// conservatively counts as one.
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+				return false
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+			return true
+		}
+		// Stop-flag checks: x.Load() where the receiver names a
+		// cancellation flag (stopped.Load(), w.eng.stop.Load(), ...).
+		if fn.Name() == "Load" {
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				recv := strings.ToLower(types.ExprString(ast.Unparen(sel.X)))
+				for _, kw := range []string{"stop", "cancel", "done", "quit"} {
+					if strings.Contains(recv, kw) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		// Cross-package polling shapes: ctx.Err/ctx.Done, Search.Next/Err
+		// (they poll internally, budgeted), and blocking sync waits.
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			switch fn.Name() {
+			case "Next", "Err", "Done", "Wait":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+
+	"repro/tools/gfdlint/internal/dataflow"
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// EpochFlow is the interprocedural extension of overlaystale: a Reader
+// derived from a Delta (an Overlay) must not flow past a call that can
+// mutate or retire its backing store, even when the mutation hides inside a
+// callee. overlaystale catches the direct d.AddEdge(); this analyzer
+// computes mutated-parameter summaries over the package call graph — which
+// parameters (or receivers) of each in-package function transitively reach
+// a graph.Mutator call, a Refreeze/RefreezeOpts (which merges the Delta
+// into a new epoch), or a Compact (which advances the epoch of the base
+// Frozen) — and stales overlay facts at every call site that passes the
+// backing Delta (or its base Frozen) into such a parameter. Refreeze does
+// not bump the Delta's version, so the runtime staleness panic never fires
+// for these reads: this analyzer is the only enforcement of the PR-9 epoch
+// contract ("snapshot-derived readers die at the next epoch").
+var EpochFlow = &lint.Analyzer{
+	Name: "epochflow",
+	Doc:  "flags Overlay reads past a call that can mutate or Refreeze/Compact the backing store (interprocedural via callee summaries)",
+	Run:  runEpochFlow,
+}
+
+func runEpochFlow(pass *lint.Pass) {
+	info := pass.Info
+	walOf, baseOf := collectGraphBindings(pass.Files, info)
+	cg := dataflow.BuildCallGraph(pass.Files, info)
+
+	// Per-function summaries: which parameter indices (receiver = -1)
+	// transitively reach an epoch-advancing operation.
+	mut := cg.MutatedParams(func(call *ast.CallExpr) []*ast.Ident {
+		fn := calleeFunc(info, call)
+		if fn == nil || !declPkgMatches(fn, "graph") {
+			return nil
+		}
+		switch {
+		case deltaMutators[fn.Name()]:
+			if r := recvIdent(call); r != nil {
+				return []*ast.Ident{r}
+			}
+		case fn.Name() == "Refreeze" || fn.Name() == "RefreezeOpts":
+			if len(call.Args) >= 1 {
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					return []*ast.Ident{id}
+				}
+			}
+		case fn.Name() == "Compact":
+			if r := recvIdent(call); r != nil {
+				return []*ast.Ident{r}
+			}
+		}
+		return nil
+	})
+
+	pos := func(n ast.Node) string { return pass.Fset.Position(n.Pos()).String() }
+
+	// killsFor emits the staling events of one call: direct Refreeze/Compact,
+	// or an argument/receiver forwarded into a summarized mutating parameter
+	// of an in-package callee. Direct graph.Mutator calls are overlaystale's
+	// domain and are deliberately not re-reported here.
+	killsFor := func(call *ast.CallExpr, emit func(ovEvent)) {
+		if fn := calleeFunc(info, call); fn != nil && declPkgMatches(fn, "graph") {
+			switch {
+			case (fn.Name() == "Refreeze" || fn.Name() == "RefreezeOpts") && len(call.Args) >= 1:
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if d := identObj(info, id); isDeltaObj(d) {
+						emit(ovEvent{kind: ovMutate, pos: call.Pos(), delta: d,
+							via: fmt.Sprintf("the %s at %s merges the backing Delta into a new epoch", fn.Name(), pos(call))})
+					}
+				}
+			case fn.Name() == "Compact":
+				if r := recvIdent(call); r != nil {
+					if f := identObj(info, r); isFrozenObj(f) {
+						emit(ovEvent{kind: ovAdvance, pos: call.Pos(), obj: f,
+							via: fmt.Sprintf("the Compact at %s advances the epoch of its base Frozen", pos(call))})
+					}
+				}
+			}
+			return
+		}
+		callee := cg.ResolveCall(call)
+		if callee == nil || len(mut[callee]) == 0 {
+			return
+		}
+		idxs := make([]int, 0, len(mut[callee]))
+		for idx := range mut[callee] {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			var arg ast.Expr
+			if idx == -1 {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					arg = sel.X
+				}
+			} else if idx < len(call.Args) {
+				arg = call.Args[idx]
+			}
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := identObj(info, id)
+			if isWALObj(obj) {
+				obj = walOf[obj]
+			}
+			switch {
+			case isDeltaObj(obj):
+				emit(ovEvent{kind: ovMutate, pos: call.Pos(), delta: obj,
+					via: fmt.Sprintf("the call to %s at %s can mutate the backing Delta", callee.Name, pos(call))})
+			case isFrozenObj(obj):
+				emit(ovEvent{kind: ovAdvance, pos: call.Pos(), obj: obj,
+					via: fmt.Sprintf("the call to %s at %s can advance the epoch of its base Frozen", callee.Name, pos(call))})
+			}
+		}
+	}
+
+	a := &ovAnalysis{pass: pass, baseOf: baseOf}
+	a.events = func(n ast.Node, emit func(ovEvent)) {
+		ovAssignEvents(info, n, emit)
+		if call, ok := n.(*ast.CallExpr); ok {
+			ovReadEvents(info, call, emit) // args are evaluated before the call runs
+			killsFor(call, emit)
+		}
+	}
+	a.report = func(e ovEvent, st ovState) {
+		pass.Reportf(e.pos, "%s uses a stale Overlay: %s; snapshot-derived readers die at the next epoch — re-derive the overlay after it", e.what, st.via)
+	}
+	a.run()
+}

@@ -3,8 +3,11 @@ package analyzers
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 
+	"repro/tools/gfdlint/internal/cfg"
+	"repro/tools/gfdlint/internal/dataflow"
 	"repro/tools/gfdlint/internal/lint"
 )
 
@@ -19,8 +22,10 @@ import (
 //     registered) is reported, as is falling off the end of the function
 //     and re-locking a held mutex (self-deadlock).
 //
-// The path check is a conservative per-block scan: branches that diverge
-// in lock state stop tracking (no report) rather than guess.
+// The release rule runs a forward dataflow over the function's CFG: the
+// fact is the set of held lock keys ("mu", "st.mu", ...) with their
+// acquisition sites; paths joining with divergent lock state stop tracking
+// the divergent keys (no report) rather than guess.
 var LockDiscipline = &lint.Analyzer{
 	Name: "lockdiscipline",
 	Doc:  "flags cond.Wait outside a loop and locks not released on all paths",
@@ -76,212 +81,251 @@ func waitDirectlyInFor(stack []ast.Node) bool {
 	return false
 }
 
-// lockState tracks, per lock key ("mu", "st.mu", ...), where it was
-// acquired. Keys in dead are no longer tracked (branch-divergent state).
-type lockState struct {
-	held     map[string]token.Pos
-	deferred map[string]bool
-	dead     map[string]bool
+// ldFact maps a held lock key to its acquisition position. nil is the
+// lattice bottom (block not yet reached); an empty non-nil map means "no
+// locks held".
+type ldFact map[string]token.Pos
+
+func checkLockPaths(pass *lint.Pass, name string, body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// Deferred unlocks release on every path; registration is treated
+	// flow-insensitively (a conditional defer still clears the key, exactly
+	// as the pre-CFG walker did).
+	deferred := map[string]bool{}
+	for _, d := range g.Defers {
+		markDeferredUnlocks(pass, d.Call, deferred)
+	}
+
+	// Keys whose state diverged at some join: tracked but never reported.
+	// Populated after solving, consulted by the report pass.
+	dead := map[string]bool{}
+
+	join := func(a, b ldFact) ldFact {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		out := make(ldFact, len(a)+len(b))
+		for k, pa := range a {
+			if pb, ok := b[k]; ok && pb < pa {
+				pa = pb
+			}
+			out[k] = pa
+		}
+		for k, pb := range b {
+			if _, ok := a[k]; !ok {
+				out[k] = pb
+			}
+		}
+		return out
+	}
+	equal := func(a, b ldFact) bool {
+		if (a == nil) != (b == nil) || len(a) != len(b) {
+			return false
+		}
+		for k, pa := range a {
+			if pb, ok := b[k]; !ok || pa != pb {
+				return false
+			}
+		}
+		return true
+	}
+
+	// transfer interprets one block; report is nil while solving and set
+	// during the report pass.
+	transfer := func(b *cfg.Block, in ldFact, report func(kind string, pos token.Pos, key string, lockPos token.Pos)) ldFact {
+		if in == nil {
+			return nil
+		}
+		out := in
+		cloned := false
+		set := func(k string, p token.Pos) {
+			if !cloned {
+				out, cloned = out.clone(), true
+			}
+			out[k] = p
+		}
+		del := func(k string) {
+			if _, ok := out[k]; !ok {
+				return
+			}
+			if !cloned {
+				out, cloned = out.clone(), true
+			}
+			delete(out, k)
+		}
+		for _, n := range b.Nodes {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn, key, ok := syncMethod(pass.Info, call)
+				if !ok {
+					continue
+				}
+				switch fn.Name() {
+				case "Lock":
+					if pos, held := out[key]; held && !dead[key] && report != nil {
+						report("relock", call.Pos(), key, pos)
+					}
+					set(key, call.Pos())
+				case "RLock":
+					// Read locks nest across goroutines but not within one
+					// holder; track release only.
+					set(key, call.Pos())
+				case "Unlock", "RUnlock":
+					del(key)
+				}
+			case *ast.ReturnStmt:
+				if report != nil {
+					for _, key := range sortedKeys(out) {
+						if !dead[key] && !deferred[key] {
+							report("return", s.Pos(), key, out[key])
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	res := dataflow.Solve(g, dataflow.Spec[ldFact]{
+		Dir:      dataflow.Forward,
+		Boundary: ldFact{},
+		Init:     nil,
+		Join:     join,
+		Transfer: func(b *cfg.Block, in ldFact) ldFact { return transfer(b, in, nil) },
+		Equal:    equal,
+	})
+
+	// Keys whose state diverges at a real join point stop being tracked (no
+	// report) rather than guessed at. The Exit block is not a real join:
+	// paths meeting there are already past their returns, and a
+	// returned-while-held path must not be whitewashed by a clean sibling.
+	for _, b := range g.Blocks {
+		if b == g.Exit || len(b.Preds) < 2 {
+			continue
+		}
+		union := map[string]bool{}
+		live := 0
+		for _, p := range b.Preds {
+			if res.Out[p] == nil {
+				continue // unreachable predecessor: contributes nothing
+			}
+			live++
+			for k := range res.Out[p] {
+				union[k] = true
+			}
+		}
+		if live < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if res.Out[p] == nil {
+				continue
+			}
+			for k := range union {
+				if _, ok := res.Out[p][k]; !ok {
+					dead[k] = true
+				}
+			}
+		}
+	}
+
+	type reportKey struct {
+		pos token.Pos
+		key string
+	}
+	reported := map[reportKey]bool{}
+	report := func(kind string, pos token.Pos, key string, lockPos token.Pos) {
+		if reported[reportKey{pos, key}] {
+			return
+		}
+		reported[reportKey{pos, key}] = true
+		switch kind {
+		case "relock":
+			pass.Reportf(pos, "%s is locked again while already held (locked at %s): self-deadlock", key, pass.Fset.Position(lockPos))
+		case "return":
+			pass.Reportf(pos, "return while %s is held (locked at %s); unlock before returning or defer the unlock", key, pass.Fset.Position(lockPos))
+		}
+	}
+	for _, b := range g.Blocks {
+		transfer(b, res.In[b], report)
+	}
+
+	// Falling off the end of the function with a lock held. Intentional
+	// lock-helper shapes (lockAll and friends) keep the lock on return.
+	if strings.Contains(strings.ToLower(name), "lock") {
+		return
+	}
+	fellOff := map[string]token.Pos{}
+	for _, p := range g.Exit.Preds {
+		if fallsOff(p) && res.Out[p] != nil {
+			for key, pos := range res.Out[p] {
+				if !dead[key] && !deferred[key] {
+					if old, ok := fellOff[key]; !ok || pos < old {
+						fellOff[key] = pos
+					}
+				}
+			}
+		}
+	}
+	for _, key := range sortedKeys(fellOff) {
+		pass.Reportf(fellOff[key], "%s is still locked when %s returns; unlock on every path or defer the unlock", key, name)
+	}
 }
 
-func newLockState() *lockState {
-	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}, dead: map[string]bool{}}
-}
-
-func (s *lockState) clone() *lockState {
-	c := newLockState()
-	for k, v := range s.held {
-		c.held[k] = v
-	}
-	for k := range s.deferred {
-		c.deferred[k] = true
-	}
-	for k := range s.dead {
-		c.dead[k] = true
+func (f ldFact) clone() ldFact {
+	c := make(ldFact, len(f))
+	for k, v := range f {
+		c[k] = v
 	}
 	return c
 }
 
-func (s *lockState) sameHeld(o *lockState) bool {
-	if len(s.held) != len(o.held) {
-		return false
+func sortedKeys(f ldFact) []string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
 	}
-	for k := range s.held {
-		if _, ok := o.held[k]; !ok {
+	sort.Strings(keys)
+	return keys
+}
+
+// fallsOff reports whether a predecessor of Exit reaches it by running past
+// the last statement rather than through return/panic.
+func fallsOff(b *cfg.Block) bool {
+	if len(b.Nodes) == 0 {
+		return true
+	}
+	switch last := b.Nodes[len(b.Nodes)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok && cfg.IsTerminalCall(call) {
 			return false
 		}
 	}
 	return true
 }
 
-func checkLockPaths(pass *lint.Pass, name string, body *ast.BlockStmt) {
-	st := newLockState()
-	walkLockStmts(pass, body.List, st)
-	for key, pos := range st.held {
-		if st.dead[key] || st.deferred[key] {
-			continue
-		}
-		// Intentional lock-helper shapes keep the lock on return.
-		if strings.Contains(strings.ToLower(name), "lock") {
-			continue
-		}
-		pass.Reportf(pos, "%s is still locked when %s returns; unlock on every path or defer the unlock", key, name)
-	}
-}
-
-// walkLockStmts interprets a statement list, updating st and reporting
-// returns that leave a tracked lock held. Nested function literals are
-// separate units and are skipped here (the FuncLit case of the outer walk
-// picks them up).
-func walkLockStmts(pass *lint.Pass, stmts []ast.Stmt, st *lockState) {
-	for _, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			call, ok := s.X.(*ast.CallExpr)
-			if !ok {
-				continue
-			}
-			fn, key, ok := syncMethod(pass.Info, call)
-			if !ok {
-				continue
-			}
-			switch fn.Name() {
-			case "Lock":
-				if pos, held := st.held[key]; held && !st.dead[key] {
-					pass.Reportf(call.Pos(), "%s is locked again while already held (locked at %s): self-deadlock", key, pass.Fset.Position(pos))
-				}
-				st.held[key] = call.Pos()
-			case "RLock":
-				// Read locks nest across goroutines but not within one
-				// holder; track release only.
-				st.held[key] = call.Pos()
-			case "Unlock", "RUnlock":
-				delete(st.held, key)
-			}
-		case *ast.DeferStmt:
-			markDeferredUnlocks(pass, s.Call, st)
-		case *ast.ReturnStmt:
-			reportHeldAt(pass, s.Pos(), st, "return")
-		case *ast.BranchStmt:
-			// break/continue/goto leave the block; treat like return for
-			// loops is too strict (the next iteration may unlock), so only
-			// goto out of a held region is ignored conservatively.
-		case *ast.BlockStmt:
-			walkLockStmts(pass, s.List, st)
-		case *ast.LabeledStmt:
-			walkLockStmts(pass, []ast.Stmt{s.Stmt}, st)
-		case *ast.IfStmt:
-			walkLockBranch(pass, s.Body.List, st)
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				walkLockBranch(pass, e.List, st)
-			case *ast.IfStmt:
-				walkLockBranch(pass, []ast.Stmt{e}, st)
-			}
-		case *ast.ForStmt:
-			walkLockBranch(pass, s.Body.List, st)
-		case *ast.RangeStmt:
-			walkLockBranch(pass, s.Body.List, st)
-		case *ast.SwitchStmt:
-			walkCaseClauses(pass, s.Body, st)
-		case *ast.TypeSwitchStmt:
-			walkCaseClauses(pass, s.Body, st)
-		case *ast.SelectStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok {
-					walkLockBranch(pass, cc.Body, st)
-				}
-			}
-		}
-	}
-}
-
-func walkCaseClauses(pass *lint.Pass, body *ast.BlockStmt, st *lockState) {
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok {
-			walkLockBranch(pass, cc.Body, st)
-		}
-	}
-}
-
-// walkLockBranch interprets a conditional branch: the branch body is
-// checked with a clone of the current state, and if the branch falls
-// through with a different set of held locks than it entered with, the
-// affected keys stop being tracked rather than guessed at.
-func walkLockBranch(pass *lint.Pass, stmts []ast.Stmt, st *lockState) {
-	c := st.clone()
-	walkLockStmts(pass, stmts, c)
-	for k := range c.deferred {
-		st.deferred[k] = true
-	}
-	if terminates(stmts) {
-		return // the branch never falls through; its lock state is moot
-	}
-	if !c.sameHeld(st) {
-		for k := range st.held {
-			if _, ok := c.held[k]; !ok {
-				st.dead[k] = true
-			}
-		}
-		for k := range c.held {
-			if _, ok := st.held[k]; !ok {
-				st.dead[k] = true
-				st.held[k] = c.held[k]
-			}
-		}
-	}
-	for k := range c.dead {
-		st.dead[k] = true
-	}
-}
-
-// terminates reports whether a statement list always diverges: ends in
-// return, branch, panic, or a *Fatal*/Exit call.
-func terminates(stmts []ast.Stmt) bool {
-	if len(stmts) == 0 {
-		return false
-	}
-	switch s := stmts[len(stmts)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		call, ok := s.X.(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.Ident:
-			return fun.Name == "panic" || strings.Contains(fun.Name, "Fatal") || strings.HasPrefix(fun.Name, "fatal")
-		case *ast.SelectorExpr:
-			n := fun.Sel.Name
-			return strings.Contains(n, "Fatal") || n == "Exit" || n == "Goexit"
-		}
-	}
-	return false
-}
-
-func reportHeldAt(pass *lint.Pass, pos token.Pos, st *lockState, what string) {
-	for key, lockPos := range st.held {
-		if st.dead[key] || st.deferred[key] {
-			continue
-		}
-		pass.Reportf(pos, "%s while %s is held (locked at %s); unlock before returning or defer the unlock",
-			what, key, pass.Fset.Position(lockPos))
-	}
-}
-
 // markDeferredUnlocks handles `defer mu.Unlock()` and `defer func() { ...
 // mu.Unlock() ... }()`.
-func markDeferredUnlocks(pass *lint.Pass, call *ast.CallExpr, st *lockState) {
+func markDeferredUnlocks(pass *lint.Pass, call *ast.CallExpr, deferred map[string]bool) {
 	if fn, key, ok := syncMethod(pass.Info, call); ok && (fn.Name() == "Unlock" || fn.Name() == "RUnlock") {
-		st.deferred[key] = true
+		deferred[key] = true
 		return
 	}
 	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
 		ast.Inspect(lit.Body, func(n ast.Node) bool {
 			if c, ok := n.(*ast.CallExpr); ok {
 				if fn, key, ok := syncMethod(pass.Info, c); ok && (fn.Name() == "Unlock" || fn.Name() == "RUnlock") {
-					st.deferred[key] = true
+					deferred[key] = true
 				}
 			}
 			return true

@@ -2,7 +2,6 @@ package analyzers
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"repro/tools/gfdlint/internal/lint"
@@ -11,13 +10,14 @@ import (
 // OverlayStale enforces the "stale overlays panic instead of lying"
 // contract (delta.go): a graph.Overlay pins the Delta version it was taken
 // at, and every Reader method panics once the backing Delta has been
-// mutated. The analyzer performs an intra-function flow check: after a
-// mutation of a Delta (directly or through a WAL fronting it), any Reader
-// call on — or use as a call argument of — an Overlay previously taken
-// from that Delta is reported; the fix is re-taking d.Overlay() after the
-// mutation batch. Inside a loop, a mutation anywhere in the body flags
-// overlay reads in the same body (the panic fires on the next iteration)
-// unless the overlay is re-taken inside the loop.
+// mutated. The analyzer runs the shared staleness-flow engine (ovflow.go)
+// over each function's CFG: a mutation of a Delta (directly or through a
+// WAL fronting it) stales every overlay fact bound to that Delta on every
+// path — including around loop back-edges, where a mutation later in the
+// body reaches reads earlier in the body on the next iteration — and any
+// Reader call on, or argument use of, a stale overlay is reported. The fix
+// is re-taking d.Overlay() after the mutation batch; re-taking inside a
+// loop clears the fact for that iteration.
 var OverlayStale = &lint.Analyzer{
 	Name: "overlaystale",
 	Doc:  "flags Overlay reads after a mutation of the backing Delta (runtime panic, caught at compile time)",
@@ -37,220 +37,97 @@ var deltaMutators = map[string]bool{
 // overlay accessors that stay valid on a stale overlay.
 var overlayMetaMethods = map[string]bool{"Delta": true, "Base": true}
 
-type ovEventKind int
-
-const (
-	evCreate ovEventKind = iota // o := d.Overlay()
-	evAlias                     // w := graph.NewWAL(_, d) / graph.OpenWAL(_, d)
-	evMutate                    // d.AddEdge(...) or w.AddEdge(...)
-	evRead                      // o.AnyReaderMethod(...) or f(o)
-)
-
-type ovEvent struct {
-	kind  ovEventKind
-	pos   token.Pos
-	obj   types.Object // overlay var (create/read), delta var (mutate), wal var (alias)
-	delta types.Object // backing delta var (create/alias)
-	loops []ast.Node   // enclosing loop statements, outermost first
-	what  string       // display text for reads
-}
-
 func runOverlayStale(pass *lint.Pass) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
-				checkOverlayFunc(pass, fd.Body)
-			}
+	walOf, _ := collectGraphBindings(pass.Files, pass.Info)
+	a := &ovAnalysis{pass: pass}
+	a.events = func(n ast.Node, emit func(ovEvent)) {
+		ovAssignEvents(pass.Info, n, emit)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		ovReadEvents(pass.Info, call, emit)
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !declPkgMatches(fn, "graph") || !deltaMutators[fn.Name()] {
+			return
+		}
+		recv := recvIdent(call)
+		if recv == nil {
+			return
+		}
+		d := identObj(pass.Info, recv)
+		if isWALObj(d) {
+			d = walOf[d]
+		}
+		if isDeltaObj(d) {
+			emit(ovEvent{kind: ovMutate, pos: call.Pos(), delta: d})
 		}
 	}
+	a.report = func(e ovEvent, st ovState) {
+		if st.pos > e.pos {
+			// The mutation sits lexically after the read: the staleness
+			// arrived around a loop back-edge and bites on the next
+			// iteration.
+			pass.Reportf(e.pos, "%s uses an Overlay that goes stale in this loop: the backing Delta is mutated at %s in the same loop body; re-take Overlay() inside the loop after mutating",
+				e.what, pass.Fset.Position(st.pos))
+			return
+		}
+		pass.Reportf(e.pos, "%s uses a stale Overlay: its backing Delta was mutated at %s after the overlay was taken; Overlay methods panic on a stale snapshot — re-take Overlay() after the mutation batch",
+			e.what, pass.Fset.Position(st.pos))
+	}
+	a.run()
 }
 
-func checkOverlayFunc(pass *lint.Pass, body *ast.BlockStmt) {
-	events := collectOverlayEvents(pass, body)
-
-	// Pass 1: lexical order. A read is stale when the backing delta's last
-	// mutation falls after the overlay's (re-)creation and before the read.
-	lastMut := map[types.Object]token.Pos{}
-	created := map[types.Object]*ovEvent{} // overlay var -> creation event
-	aliases := map[types.Object]types.Object{}
-	reported := map[token.Pos]bool{}
-	for i := range events {
-		ev := &events[i]
-		switch ev.kind {
-		case evCreate:
-			created[ev.obj] = ev
-		case evAlias:
-			aliases[ev.obj] = ev.delta
-		case evMutate:
-			d := ev.obj
-			if a, ok := aliases[d]; ok {
-				d = a
-			}
-			lastMut[d] = ev.pos
-			ev.delta = d
-		case evRead:
-			c, ok := created[ev.obj]
-			if !ok {
-				continue
-			}
-			if m, ok := lastMut[c.delta]; ok && m > c.pos && m < ev.pos && !reported[ev.pos] {
-				reported[ev.pos] = true
-				pass.Reportf(ev.pos, "%s uses a stale Overlay: its backing Delta was mutated at %s after the overlay was taken; Overlay methods panic on a stale snapshot — re-take Overlay() after the mutation batch",
-					ev.what, pass.Fset.Position(m))
-			}
-		}
+// ovAssignEvents emits the create/rebind events of an assignment: binding an
+// identifier via d.Overlay() makes a fresh tracked overlay; assigning an
+// overlay-typed identifier from anything else stops tracking it (the old
+// value, stale or not, is gone).
+func ovAssignEvents(info *types.Info, n ast.Node, emit func(ovEvent)) {
+	asg, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return
 	}
-
-	// Pass 2: loop bodies. A mutation anywhere in a loop body staleness-
-	// poisons reads in the same body on the next iteration, regardless of
-	// lexical order, unless the overlay is re-created inside that loop.
-	for i := range events {
-		read := &events[i]
-		if read.kind != evRead || reported[read.pos] {
+	for i, lhs := range asg.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
 			continue
 		}
-		c, ok := created[read.obj]
-		if !ok {
-			continue
-		}
-		for _, loop := range read.loops {
-			if containsNode(c.loops, loop) {
-				continue // re-created inside this loop: fresh each iteration
-			}
-			for j := range events {
-				mut := &events[j]
-				if mut.kind == evMutate && mut.delta == c.delta && containsNode(mut.loops, loop) {
-					reported[read.pos] = true
-					pass.Reportf(read.pos, "%s uses an Overlay that goes stale in this loop: the backing Delta is mutated at %s in the same loop body; re-take Overlay() inside the loop after mutating",
-						read.what, pass.Fset.Position(mut.pos))
-					break
-				}
-			}
-			if reported[read.pos] {
-				break
-			}
-		}
-	}
-}
-
-func containsNode(loops []ast.Node, n ast.Node) bool {
-	for _, l := range loops {
-		if l == n {
-			return true
-		}
-	}
-	return false
-}
-
-func collectOverlayEvents(pass *lint.Pass, body *ast.BlockStmt) []ovEvent {
-	var events []ovEvent
-	overlayVars := map[types.Object]bool{}
-
-	// Creation/alias sites first, so reads of overlay vars declared later
-	// in the file (closures) classify correctly during the event walk.
-	ast.Inspect(body, func(n ast.Node) bool {
-		asg, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for i, rhs := range asg.Rhs {
-			call, ok := rhs.(*ast.CallExpr)
-			if !ok || i >= len(asg.Lhs) {
-				continue
-			}
-			fn := calleeFunc(pass.Info, call)
-			if fn == nil || !declPkgMatches(fn, "graph") {
-				continue
-			}
-			if fn.Name() == "Overlay" && recvNamed(fn) == "Delta" {
-				if lhs, ok := asg.Lhs[i].(*ast.Ident); ok && lhs.Name != "_" {
-					overlayVars[identObj(pass.Info, lhs)] = true
-				}
-			}
-		}
-		return true
-	})
-
-	lint.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.AssignStmt:
-			for i, rhs := range s.Rhs {
-				call, ok := rhs.(*ast.CallExpr)
-				if !ok || i >= len(s.Lhs) {
-					continue
-				}
-				fn := calleeFunc(pass.Info, call)
-				if fn == nil || !declPkgMatches(fn, "graph") {
-					continue
-				}
-				lhs, ok := s.Lhs[i].(*ast.Ident)
-				if !ok || lhs.Name == "_" {
-					continue
-				}
-				switch {
-				case fn.Name() == "Overlay" && recvNamed(fn) == "Delta":
+		obj := identObj(info, id)
+		if i < len(asg.Rhs) && len(asg.Rhs) == len(asg.Lhs) {
+			if call, ok := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr); ok {
+				fn := calleeFunc(info, call)
+				if fn != nil && declPkgMatches(fn, "graph") && fn.Name() == "Overlay" && recvNamed(fn) == "Delta" {
 					if recv := recvIdent(call); recv != nil {
-						events = append(events, ovEvent{kind: evCreate, pos: call.Pos(),
-							obj: identObj(pass.Info, lhs), delta: identObj(pass.Info, recv), loops: loopsOf(stack)})
-					}
-				case (fn.Name() == "NewWAL" || fn.Name() == "OpenWAL") && len(call.Args) == 2:
-					if d, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
-						events = append(events, ovEvent{kind: evAlias, pos: call.Pos(),
-							obj: identObj(pass.Info, lhs), delta: identObj(pass.Info, d), loops: loopsOf(stack)})
-					}
-				}
-			}
-		case *ast.CallExpr:
-			fn := calleeFunc(pass.Info, s)
-			if fn != nil && declPkgMatches(fn, "graph") {
-				if recv := recvIdent(s); recv != nil {
-					obj := identObj(pass.Info, recv)
-					if deltaMutators[fn.Name()] && !overlayVars[obj] {
-						events = append(events, ovEvent{kind: evMutate, pos: s.Pos(), obj: obj, loops: loopsOf(stack)})
-					}
-					if overlayVars[obj] && !overlayMetaMethods[fn.Name()] {
-						events = append(events, ovEvent{kind: evRead, pos: s.Pos(), obj: obj, loops: loopsOf(stack),
-							what: recv.Name + "." + fn.Name()})
-					}
-				}
-			}
-			// Handing a (possibly stale) overlay to any call counts as a
-			// read: the callee will hit Reader methods.
-			for _, arg := range s.Args {
-				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
-					if obj := identObj(pass.Info, id); overlayVars[obj] {
-						events = append(events, ovEvent{kind: evRead, pos: id.Pos(), obj: obj, loops: loopsOf(stack),
-							what: "passing " + id.Name})
+						emit(ovEvent{kind: ovCreate, pos: call.Pos(), obj: obj, delta: identObj(info, recv)})
+						continue
 					}
 				}
 			}
 		}
-		return true
-	})
-	return events
-}
-
-func identObj(info *types.Info, id *ast.Ident) types.Object {
-	if o := info.Defs[id]; o != nil {
-		return o
+		if isOverlayObj(obj) {
+			emit(ovEvent{kind: ovRebind, pos: id.Pos(), obj: obj})
+		}
 	}
-	return info.Uses[id]
 }
 
-func loopsOf(stack []ast.Node) []ast.Node {
-	var loops []ast.Node
-	for i, n := range stack {
-		switch s := n.(type) {
-		case *ast.ForStmt:
-			if i+1 < len(stack) && stack[i+1] == s.Body {
-				loops = append(loops, n)
-			}
-		case *ast.RangeStmt:
-			if i+1 < len(stack) && stack[i+1] == s.Body {
-				loops = append(loops, n)
+// ovReadEvents emits the read events of a call: a Reader method invoked on
+// an overlay identifier, or an overlay identifier handed to any call as an
+// argument (the callee will hit Reader methods).
+func ovReadEvents(info *types.Info, call *ast.CallExpr, emit func(ovEvent)) {
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := identObj(info, id); isOverlayObj(obj) {
+				emit(ovEvent{kind: ovRead, pos: id.Pos(), obj: obj, what: "passing " + id.Name})
 			}
 		}
 	}
-	return loops
+	fn := calleeFunc(info, call)
+	if fn == nil || !declPkgMatches(fn, "graph") || overlayMetaMethods[fn.Name()] {
+		return
+	}
+	if recv := recvIdent(call); recv != nil {
+		if obj := identObj(info, recv); isOverlayObj(obj) {
+			emit(ovEvent{kind: ovRead, pos: call.Pos(), obj: obj, what: recv.Name + "." + fn.Name()})
+		}
+	}
 }

@@ -1,0 +1,335 @@
+package analyzers
+
+// ovflow.go is the shared staleness-flow engine behind overlaystale and
+// epochflow: both analyzers describe their kill events (what makes an
+// Overlay stale) and the engine runs a forward may-analysis over the
+// function's CFG — an overlay object's fact travels every path, around
+// loop back-edges, until a Reader use meets a stale fact. overlaystale
+// feeds direct, intra-procedural Delta mutations; epochflow feeds
+// interprocedural ones (callee summaries from the package call graph) and
+// epoch advances (Refreeze/Compact), which the runtime staleness panic
+// cannot catch.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/gfdlint/internal/cfg"
+	"repro/tools/gfdlint/internal/dataflow"
+	"repro/tools/gfdlint/internal/lint"
+)
+
+// ovEventKind classifies one staleness-relevant operation.
+type ovEventKind int
+
+const (
+	ovCreate  ovEventKind = iota // o := d.Overlay(): o becomes fresh, bound to d
+	ovRebind                     // o reassigned from anything else: o becomes untracked
+	ovMutate                     // an operation that stales every overlay bound to a delta
+	ovAdvance                    // an epoch advance on a Frozen: stales overlays of deltas based on it
+	ovRead                       // a Reader use of an overlay
+)
+
+type ovEvent struct {
+	kind  ovEventKind
+	pos   token.Pos
+	obj   types.Object // overlay (create/rebind/read), delta (mutate), frozen (advance)
+	delta types.Object // backing delta (create)
+	what  string       // display text for reads
+	via   string       // display text for mutate/advance ("call to merge", "Refreeze", ...)
+}
+
+// ovState is one overlay's fact.
+type ovState struct {
+	delta types.Object
+	stale bool
+	pos   token.Pos // position of the staling event (valid when stale)
+	via   string
+}
+
+type ovFact map[types.Object]ovState
+
+func (f ovFact) clone() ovFact {
+	c := make(ovFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func ovJoin(a, b ovFact) ovFact {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := a.clone()
+	for k, vb := range b {
+		va, ok := out[k]
+		if !ok {
+			out[k] = vb
+			continue
+		}
+		if va.delta != vb.delta {
+			// Bound to different deltas on different paths: stop tracking
+			// rather than guess (reported staleness must be certain about
+			// which mutation it blames).
+			delete(out, k)
+			continue
+		}
+		// May-analysis: stale on any path wins; prefer the earlier staling
+		// position for determinism.
+		switch {
+		case va.stale && vb.stale:
+			if vb.pos < va.pos {
+				out[k] = vb
+			}
+		case vb.stale:
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+func ovEqual(a, b ovFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// ovAnalysis is one analyzer's configuration of the engine.
+type ovAnalysis struct {
+	pass *lint.Pass
+	// events extracts the staleness events of one CFG node, in evaluation
+	// order. Nested function literals are already excluded by the caller.
+	events func(n ast.Node, emit func(ovEvent))
+	// report renders one finding. mutPos/via describe the staling event.
+	report func(read ovEvent, st ovState)
+	// baseOf maps a Delta object to the Frozen it was taken from (for
+	// ovAdvance kills); may be nil.
+	baseOf map[types.Object]types.Object
+}
+
+// run checks every function declaration and function literal in the pass's
+// files.
+func (a *ovAnalysis) run() {
+	for _, f := range a.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.checkBody(n.Body)
+				}
+			case *ast.FuncLit:
+				a.checkBody(n.Body)
+				return false // its nested literals were just handled by the recursion above
+			}
+			return true
+		})
+	}
+}
+
+// nodeEvents lists the events of one CFG node in order, skipping nested
+// function literals (they are separate analysis units).
+func (a *ovAnalysis) nodeEvents(n ast.Node) []ovEvent {
+	var evs []ovEvent
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m == nil {
+			return true
+		}
+		a.events(m, func(e ovEvent) { evs = append(evs, e) })
+		return true
+	})
+	return evs
+}
+
+func (a *ovAnalysis) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// Per-block event lists, computed once.
+	events := map[*cfg.Block][][]ovEvent{}
+	any := false
+	for _, b := range g.Blocks {
+		lists := make([][]ovEvent, len(b.Nodes))
+		for i, n := range b.Nodes {
+			lists[i] = a.nodeEvents(n)
+			if len(lists[i]) > 0 {
+				any = true
+			}
+		}
+		events[b] = lists
+	}
+	if !any {
+		return
+	}
+
+	transfer := func(b *cfg.Block, in ovFact, read func(ovEvent, ovState)) ovFact {
+		out := in
+		cloned := false
+		mut := func(apply func(ovFact)) {
+			if !cloned {
+				out = out.clone()
+				cloned = true
+			}
+			apply(out)
+		}
+		for _, list := range events[b] {
+			for _, ev := range list {
+				switch ev.kind {
+				case ovCreate:
+					mut(func(f ovFact) { f[ev.obj] = ovState{delta: ev.delta} })
+				case ovRebind:
+					if _, ok := out[ev.obj]; ok {
+						mut(func(f ovFact) { delete(f, ev.obj) })
+					}
+				case ovMutate, ovAdvance:
+					for o, st := range out {
+						if st.stale {
+							continue
+						}
+						hit := st.delta == ev.delta
+						if ev.kind == ovAdvance {
+							hit = a.baseOf != nil && a.baseOf[st.delta] == ev.obj
+						}
+						if hit {
+							staled := st
+							staled.stale, staled.pos, staled.via = true, ev.pos, ev.via
+							key := o
+							mut(func(f ovFact) { f[key] = staled })
+						}
+					}
+				case ovRead:
+					if st, ok := out[ev.obj]; ok && st.stale && read != nil {
+						read(ev, st)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	res := dataflow.Solve(g, dataflow.Spec[ovFact]{
+		Dir:      dataflow.Forward,
+		Boundary: ovFact{},
+		Init:     ovFact{},
+		Join:     ovJoin,
+		Transfer: func(b *cfg.Block, in ovFact) ovFact { return transfer(b, in, nil) },
+		Equal:    ovEqual,
+	})
+
+	// Report pass: re-run each block's transfer from its solved entry fact,
+	// now observing reads. Dedupe by position (a read may be re-observed
+	// through multiple blocks only if blocks were shared, which they are
+	// not, but joins can present the same stale state twice).
+	reported := map[token.Pos]bool{}
+	for _, b := range g.Blocks {
+		transfer(b, res.In[b], func(e ovEvent, st ovState) {
+			if !reported[e.pos] {
+				reported[e.pos] = true
+				a.report(e, st)
+			}
+		})
+	}
+}
+
+// --- shared type/shape helpers ---
+
+// namedFromPkg reports whether t (after unwrapping pointers) is a named
+// type with the given name declared in a package whose path is or ends in
+// "/"+pkgSuffix.
+func namedFromPkg(t types.Type, name, pkgSuffix string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkgSuffix || len(path) > len(pkgSuffix) && path[len(path)-len(pkgSuffix)-1] == '/' && path[len(path)-len(pkgSuffix):] == pkgSuffix
+}
+
+func isOverlayObj(o types.Object) bool {
+	return o != nil && namedFromPkg(o.Type(), "Overlay", "graph")
+}
+
+func isDeltaObj(o types.Object) bool {
+	return o != nil && namedFromPkg(o.Type(), "Delta", "graph")
+}
+
+func isWALObj(o types.Object) bool {
+	return o != nil && namedFromPkg(o.Type(), "WAL", "graph")
+}
+
+func isFrozenObj(o types.Object) bool {
+	return o != nil && namedFromPkg(o.Type(), "Frozen", "graph")
+}
+
+// collectGraphBindings walks a file set (skipping nothing: bindings are
+// flow-insensitive) and records WAL→Delta aliases (w := graph.NewWAL(_, d))
+// and Delta→Frozen bases (d := graph.NewDelta(f)).
+func collectGraphBindings(files []*ast.File, info *types.Info) (walOf, baseOf map[types.Object]types.Object) {
+	walOf = map[types.Object]types.Object{}
+	baseOf = map[types.Object]types.Object{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(asg.Lhs) {
+					continue
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !declPkgMatches(fn, "graph") {
+					continue
+				}
+				lhs, ok := asg.Lhs[i].(*ast.Ident)
+				if !ok || lhs.Name == "_" {
+					continue
+				}
+				switch fn.Name() {
+				case "NewWAL", "OpenWAL":
+					if len(call.Args) == 2 {
+						if d, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
+							walOf[identObj(info, lhs)] = identObj(info, d)
+						}
+					}
+				case "NewDelta":
+					if len(call.Args) == 1 {
+						if b, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+							baseOf[identObj(info, lhs)] = identObj(info, b)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return walOf, baseOf
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

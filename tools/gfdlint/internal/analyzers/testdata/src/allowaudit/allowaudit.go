@@ -1,0 +1,28 @@
+// Fixtures for the unused-suppression audit: an //gfdlint:allow directive
+// that suppresses a live finding survives; one with nothing beneath it is
+// reported (nolintlint-style), so dead suppressions cannot accumulate.
+package allowaudit
+
+import "fixtures/graph"
+
+// The directive suppresses a real overlaystale finding: used, not reported.
+func usedDirective(d *graph.Delta) int {
+	o := d.Overlay()
+	d.AddNode("person")
+	//gfdlint:allow overlaystale -- this read exercises the staleness panic on purpose
+	return o.NumNodes()
+}
+
+// Nothing trips overlaystale on the covered lines: the directive is dead.
+func unusedDirective(d *graph.Delta) int {
+	o := d.Overlay()
+	//gfdlint:allow overlaystale -- the read below is fresh, nothing to allow // want "unused //gfdlint:allow directive"
+	return o.NumNodes()
+}
+
+// A blanket directive with no names is a wildcard; unused ones are flagged
+// the same way.
+func wildcardUnused() int {
+	//gfdlint:allow -- blanket suppression guarding nothing // want "unused //gfdlint:allow directive"
+	return 1
+}

@@ -1,0 +1,126 @@
+// Fixtures for the epochflow analyzer: an Overlay must not flow past a
+// call that can mutate or retire its backing store — a Refreeze/Compact
+// (epoch advance) or a mutation hidden inside an in-package callee. Direct
+// Delta mutations are overlaystale's domain and are not re-reported here.
+package epochflow
+
+import (
+	"bytes"
+
+	"fixtures/graph"
+)
+
+// grow mutates its Delta one call deep.
+func grow(d *graph.Delta) { d.AddNode("person") }
+
+// churn reaches the mutation two calls deep: the summary is a fixpoint.
+func churn(d *graph.Delta) { grow(d) }
+
+// advance merges the delta into a new epoch inside a helper.
+func advance(f *graph.Frozen, d *graph.Delta) *graph.Frozen { return f.Refreeze(d) }
+
+// logGrow mutates through a WAL fronting the Delta.
+func logGrow(w *graph.WAL) { w.AddNode("person") }
+
+// inspect only reads: passing a fresh overlay through it is fine.
+func inspect(o *graph.Overlay) int { return o.NumNodes() }
+
+// freshOverlay returns a new snapshot; assigning from it rebinds.
+func freshOverlay(d *graph.Delta) *graph.Overlay { return d.Overlay() }
+
+// Refreeze does not bump the Delta version, so the runtime staleness panic
+// never fires here: the analyzer is the only enforcement.
+func directRefreeze(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	f.Refreeze(d)
+	return o.NumNodes() // want "merges the backing Delta into a new epoch"
+}
+
+func helperMutates(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	grow(d)
+	return o.NumNodes() // want "call to grow .* can mutate the backing Delta"
+}
+
+func helperMutatesTwoDeep(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	churn(d)
+	return o.NumNodes() // want "call to churn .* can mutate the backing Delta"
+}
+
+func helperRefreezes(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	advance(f, d)
+	return o.NumNodes() // want "call to advance .* can mutate the backing Delta"
+}
+
+// Compact retires the base Frozen's epoch: overlays of deltas based on it
+// (the NewDelta binding) die with it.
+func compactAdvancesEpoch(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	f.Compact()
+	return o.NumNodes() // want "advances the epoch of its base Frozen"
+}
+
+// The mutation rides a WAL handle; the WAL→Delta binding maps it back.
+func mutatesThroughWAL(f *graph.Frozen, buf *bytes.Buffer) int {
+	d := graph.NewDelta(f)
+	w := graph.NewWAL(buf, d)
+	o := d.Overlay()
+	logGrow(w)
+	return o.NumNodes() // want "call to logGrow .* can mutate the backing Delta"
+}
+
+// An epoch advance late in a loop body stales reads earlier in the body on
+// the next iteration.
+func staleNextIteration(f *graph.Frozen, d *graph.Delta) int {
+	o := d.Overlay()
+	total := 0
+	for i := 0; i < 2; i++ {
+		total += o.NumNodes() // want "merges the backing Delta into a new epoch"
+		f.Refreeze(d)
+	}
+	return total
+}
+
+// --- clean shapes ---
+
+// Re-deriving the overlay after the epoch advance is the documented fix.
+func rederivedAfterRefreeze(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	f.Refreeze(d)
+	o = d.Overlay()
+	return o.NumNodes()
+}
+
+// A read-only helper leaves the overlay fresh.
+func readOnlyHelper(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	return inspect(o) + o.NumNodes()
+}
+
+// Rebinding from a helper that returns a fresh overlay stops tracking the
+// old value: no false positive on the new one.
+func rebindFromHelper(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	f.Refreeze(d)
+	o = freshOverlay(d)
+	return o.NumNodes()
+}
+
+// A direct mutation is overlaystale's domain: epochflow stays quiet rather
+// than double-reporting.
+func directMutationNotRereported(f *graph.Frozen) int {
+	d := graph.NewDelta(f)
+	o := d.Overlay()
+	d.AddNode("person")
+	return o.NumNodes()
+}

@@ -1,0 +1,95 @@
+// Fixtures for the goroisolate analyzer: engine goroutines whose body can
+// panic need a deferred recover() guard at entry, and every goroutine needs
+// a join or release path (WaitGroup.Done, a channel operation, a condvar).
+package goroisolate
+
+import (
+	"context"
+	"sync"
+)
+
+// Indexing can panic and there is no guard; the Done defer is not a guard.
+func riskyNoGuard(wg *sync.WaitGroup, xs []int, out chan int) {
+	wg.Add(1)
+	go func() { // want "installs no recover"
+		defer wg.Done()
+		out <- xs[0]
+	}()
+}
+
+// Guarded but orphaned: nothing ever observes this goroutine finishing.
+func guardedNoJoin(xs []int) {
+	go func() { // want "no join or release path"
+		defer func() { recover() }()
+		xs[0] = 1
+	}()
+}
+
+// The guard must come before the first statement that can panic.
+func guardTooLate(xs []int, out chan int) {
+	go func() { // want "installs no recover"
+		x := xs[0]
+		defer func() { recover() }()
+		out <- x
+	}()
+}
+
+// pump can panic (slice index) and installs no guard; the can-panic
+// summary crosses the named-function boundary.
+func pump(xs []int, out chan int) {
+	for _, i := range []int{0, 1} {
+		out <- xs[i]
+	}
+}
+
+func namedPump(xs []int, out chan int) {
+	go pump(xs, out) // want "installs no recover"
+}
+
+// Both contracts violated at once: two findings on one statement.
+func doublyBad(m map[string]int) {
+	go func() { // want "installs no recover" "no join or release path"
+		m["k"] = 1
+	}()
+}
+
+// --- clean shapes ---
+
+// The engine worker shape: Done defer first (it runs after the panic
+// anyway), recover guard second, real work after — joined via WaitGroup.
+func fullWorker(wg *sync.WaitGroup, xs []int, out chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				out <- -1
+			}
+		}()
+		for i := range xs {
+			out <- xs[i]
+		}
+	}()
+}
+
+// Provably panic-free coordination needs no guard; the receive and close
+// are its join evidence.
+func watcher(ctx context.Context, stop chan struct{}) {
+	go func() {
+		<-ctx.Done()
+		close(stop)
+	}()
+}
+
+// The closer pairs a Wait with a close: panic-free and joined.
+func closer(wg *sync.WaitGroup, out chan int) {
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+}
+
+// A dynamic target has no in-package body to check: out of reach by design.
+func dynamicTarget(f func()) {
+	go f()
+}

@@ -19,6 +19,18 @@ func (f *Frozen) AppendCandidates(dst []NodeID, label string) []NodeID {
 }
 func (f *Frozen) WriteSnapshot(w io.Writer) error { return nil }
 
+// Remap mimics the node-ID remapping a compaction produces.
+type Remap []NodeID
+
+// RefreezeOptions mimics the compaction policy knob.
+type RefreezeOptions struct{ CompactThreshold float64 }
+
+func (f *Frozen) Refreeze(d *Delta) *Frozen { return &Frozen{} }
+func (f *Frozen) RefreezeOpts(d *Delta, opt RefreezeOptions) (*Frozen, Remap) {
+	return &Frozen{}, nil
+}
+func (f *Frozen) Compact() (*Frozen, Remap) { return &Frozen{}, nil }
+
 // Delta mimics the mutable overlay log.
 type Delta struct{ version uint64 }
 

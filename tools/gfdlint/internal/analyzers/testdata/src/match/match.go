@@ -1,0 +1,9 @@
+// Package match is a stub of repro/internal/match with the iterator shape
+// ctxpoll keys on: Search.Next/Err poll cancellation internally (budgeted),
+// so stepping the iterator counts as a poll.
+package match
+
+type Search struct{ done bool }
+
+func (s *Search) Next() bool { return !s.done }
+func (s *Search) Err() error { return nil }

@@ -11,13 +11,16 @@ import (
 	"repro/tools/gfdlint/internal/lint"
 )
 
-// All returns every gfdlint analyzer: the four contract checks plus the
-// bundled general-purpose passes.
+// All returns every gfdlint analyzer: the contract checks plus the bundled
+// general-purpose passes.
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		HotAlloc,
 		MutatorErr,
 		OverlayStale,
+		EpochFlow,
+		CtxPoll,
+		GoroIsolate,
 		LockDiscipline,
 		CopyLock,
 		Shadow,

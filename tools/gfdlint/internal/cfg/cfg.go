@@ -1,0 +1,550 @@
+// Package cfg builds per-function control-flow graphs from go/ast, the
+// flow-aware substrate the contract analyzers run on (via the solvers in
+// internal/dataflow). Like the rest of gfdlint it is stdlib-only; the
+// shapes are modelled on golang.org/x/tools/go/cfg so a future port is a
+// rename, but the construction here additionally records defer sites,
+// panic/termination edges, and — what the loop-sensitive analyzers need
+// most — which edges are loop back-edges and which blocks belong to each
+// loop's natural body.
+//
+// A Block is a maximal straight-line run of AST nodes (statements plus the
+// controlling expressions of if/for/switch, evaluated in order). Control
+// constructs fan out to successor blocks; return statements, panic calls
+// and Fatal-style terminators edge to the function's single Exit block.
+// Function literals are opaque: a FuncLit is a value inside some node, its
+// body belongs to its own CFG (build one with New on the literal's body).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // returns, panics, and the fall-off-the-end edge all land here
+	Blocks []*Block
+	Defers []*ast.DeferStmt // in registration order
+	Loops  []*Loop          // every for/range loop, outermost first per nesting chain
+}
+
+// Block is one straight-line run of nodes.
+type Block struct {
+	Index int
+	Kind  string     // "entry", "exit", "for.head", "if.then", ... (debugging)
+	Nodes []ast.Node // statements and controlling expressions, in evaluation order
+	Succs []*Block
+	Preds []*Block
+}
+
+// Loop is one for or range statement: Head is the block every iteration
+// passes through (the cond block, or the empty head of a `for {}`), and
+// Latches are the sources of its back edges (body fall-through, post
+// block, continue statements). A loop whose body always diverges has no
+// latches and therefore no back edge.
+type Loop struct {
+	Stmt    ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	Head    *Block
+	Latches []*Block
+}
+
+// Body returns the loop's natural body: Head plus every block that can
+// reach a latch without passing through Head (computed backwards from the
+// latches, the standard natural-loop construction).
+func (l *Loop) Body() map[*Block]bool {
+	body := map[*Block]bool{l.Head: true}
+	var stack []*Block
+	for _, t := range l.Latches {
+		if !body[t] {
+			body[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			if !body[p] {
+				body[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return body
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	b.live = true
+	b.labels = map[string]*labelInfo{}
+	b.stmtList(body.List)
+	if b.live {
+		b.edge(b.cur, b.g.Exit)
+	}
+	return b.g
+}
+
+// String renders the graph for debugging and the hand-built solver tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%d(%s) ->", blk.Index, blk.Kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+type labelInfo struct {
+	name    string
+	block   *Block // the label's entry point (goto target)
+	breakTo *Block // set while the labeled loop/switch/select is open
+	contTo  *Block
+	loop    *Loop
+}
+
+// loopFrame tracks the innermost enclosing loop's branch targets.
+type loopFrame struct {
+	breakTo *Block
+	contTo  *Block
+	loop    *Loop // nil for switch/select frames (break-only)
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	live   bool // false after return/panic/branch: subsequent stmts are unreachable
+	frames []loopFrame
+	labels map[string]*labelInfo
+
+	// pendingLabel is consumed by the next loop/switch/select statement so
+	// `break L` / `continue L` resolve through it.
+	pendingLabel *labelInfo
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump moves construction to a fresh (so far unreachable) block after a
+// diverging statement; later labels or joins may still edge into it.
+func (b *builder) startDead(kind string) {
+	b.cur = b.newBlock(kind)
+	b.live = false
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.live {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.startDead("return.after")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, s)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body, s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && IsTerminalCall(call) {
+			if b.live {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.startDead("panic.after")
+		}
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec: plain
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{name: name}
+		b.labels[name] = li
+	}
+	if li.block == nil {
+		li.block = b.newBlock("label." + name)
+	}
+	if b.live {
+		b.edge(b.cur, li.block)
+	}
+	b.cur = li.block
+	b.live = true
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = li
+	}
+	b.stmt(s.Stmt)
+	b.pendingLabel = nil
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		var to *Block
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				to = li.breakTo
+			}
+		} else {
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				to = b.frames[i].breakTo
+				break
+			}
+		}
+		if to != nil && b.live {
+			b.edge(b.cur, to)
+		}
+		b.startDead("break.after")
+	case token.CONTINUE:
+		var fr *loopFrame
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.loop != nil {
+				fr = &loopFrame{breakTo: li.breakTo, contTo: li.contTo, loop: li.loop}
+			}
+		} else {
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				if b.frames[i].loop != nil {
+					fr = &b.frames[i]
+					break
+				}
+			}
+		}
+		if fr != nil && b.live {
+			b.edge(b.cur, fr.contTo)
+			fr.loop.noteLatch(b.cur, fr.contTo)
+		}
+		b.startDead("continue.after")
+	case token.GOTO:
+		if s.Label != nil {
+			li := b.labels[s.Label.Name]
+			if li == nil {
+				li = &labelInfo{name: s.Label.Name}
+				b.labels[s.Label.Name] = li
+			}
+			if li.block == nil {
+				li.block = b.newBlock("label." + s.Label.Name)
+			}
+			if b.live {
+				b.edge(b.cur, li.block)
+			}
+		}
+		b.startDead("goto.after")
+	case token.FALLTHROUGH:
+		// The switch construction wires the edge to the next clause.
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	condBlk, condLive := b.cur, b.live
+	after := b.newBlock("if.after")
+
+	then := b.newBlock("if.then")
+	if condLive {
+		b.edge(condBlk, then)
+	}
+	b.cur, b.live = then, condLive
+	b.stmtList(s.Body.List)
+	if b.live {
+		b.edge(b.cur, after)
+	}
+
+	switch e := s.Else.(type) {
+	case nil:
+		if condLive {
+			b.edge(condBlk, after)
+		}
+	case *ast.BlockStmt:
+		els := b.newBlock("if.else")
+		if condLive {
+			b.edge(condBlk, els)
+		}
+		b.cur, b.live = els, condLive
+		b.stmtList(e.List)
+		if b.live {
+			b.edge(b.cur, after)
+		}
+	case *ast.IfStmt:
+		els := b.newBlock("if.else")
+		if condLive {
+			b.edge(condBlk, els)
+		}
+		b.cur, b.live = els, condLive
+		b.stmt(e)
+		if b.live {
+			b.edge(b.cur, after)
+		}
+	}
+	b.cur = after
+	b.live = len(after.Preds) > 0
+}
+
+func (l *Loop) noteLatch(src, target *Block) {
+	// Only edges landing on the loop head are back edges; a continue in a
+	// loop with a post statement jumps to the post block instead, and the
+	// post block registers the real latch when it wires post→head.
+	if target != l.Head {
+		return
+	}
+	for _, t := range l.Latches {
+		if t == src {
+			return
+		}
+	}
+	l.Latches = append(l.Latches, src)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	if b.live {
+		b.edge(b.cur, head)
+	}
+	entryLive := b.live
+	b.cur, b.live = head, entryLive
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+
+	loop := &Loop{Stmt: s, Head: head}
+	b.g.Loops = append(b.g.Loops, loop)
+
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		contTo = post
+	}
+	if li := b.pendingLabel; li != nil {
+		li.breakTo, li.contTo, li.loop = after, contTo, loop
+		b.pendingLabel = nil
+		defer func() { li.breakTo, li.contTo, li.loop = nil, nil, nil }()
+	}
+	b.frames = append(b.frames, loopFrame{breakTo: after, contTo: contTo, loop: loop})
+	b.cur, b.live = body, true
+	b.stmtList(s.Body.List)
+	if b.live {
+		b.edge(b.cur, contTo)
+		if post == nil {
+			loop.noteLatch(b.cur, head)
+		}
+	}
+	if post != nil {
+		b.cur, b.live = post, len(post.Preds) > 0
+		b.add(s.Post)
+		if b.live {
+			b.edge(post, head)
+			loop.noteLatch(post, head)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+	b.live = len(after.Preds) > 0
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock("range.head")
+	if b.live {
+		b.edge(b.cur, head)
+	}
+	b.cur = head
+	b.add(s) // the range head: evaluate X, draw the next element
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	b.edge(head, body)
+	b.edge(head, after)
+
+	loop := &Loop{Stmt: s, Head: head}
+	b.g.Loops = append(b.g.Loops, loop)
+	if li := b.pendingLabel; li != nil {
+		li.breakTo, li.contTo, li.loop = after, head, loop
+		b.pendingLabel = nil
+		defer func() { li.breakTo, li.contTo, li.loop = nil, nil, nil }()
+	}
+	b.frames = append(b.frames, loopFrame{breakTo: after, contTo: head, loop: loop})
+	b.cur, b.live = body, true
+	b.stmtList(s.Body.List)
+	if b.live {
+		b.edge(b.cur, head)
+		loop.noteLatch(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+	b.live = true
+}
+
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, s ast.Stmt) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if ts, ok := s.(*ast.TypeSwitchStmt); ok {
+		b.add(ts.Assign)
+	}
+	head, headLive := b.cur, b.live
+	after := b.newBlock("switch.after")
+	if li := b.pendingLabel; li != nil {
+		li.breakTo = after
+		b.pendingLabel = nil
+		defer func() { li.breakTo = nil }()
+	}
+	b.frames = append(b.frames, loopFrame{breakTo: after})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock("case")
+		if headLive {
+			b.edge(head, blocks[i])
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && headLive {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur, b.live = blocks[i], headLive
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		if b.live {
+			// An explicit fallthrough must be the clause's final statement.
+			if n := len(cc.Body); n > 0 {
+				if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+					b.edge(b.cur, blocks[i+1])
+					continue
+				}
+			}
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+	b.live = len(after.Preds) > 0
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	b.add(s)
+	head, headLive := b.cur, b.live
+	after := b.newBlock("select.after")
+	if li := b.pendingLabel; li != nil {
+		li.breakTo = after
+		b.pendingLabel = nil
+		defer func() { li.breakTo = nil }()
+	}
+	b.frames = append(b.frames, loopFrame{breakTo: after})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		if headLive {
+			b.edge(head, blk)
+		}
+		b.cur, b.live = blk, headLive
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.live {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+	b.live = len(after.Preds) > 0
+}
+
+// IsTerminalCall reports whether a call never returns: panic, os.Exit,
+// runtime.Goexit, and testing/log Fatal-family helpers. The heuristic is
+// name-shaped (shared with the lockdiscipline terminator rule) because the
+// loader does not always have bodies for cross-package callees.
+func IsTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic" || strings.Contains(fun.Name, "Fatal") || strings.HasPrefix(fun.Name, "fatal")
+	case *ast.SelectorExpr:
+		n := fun.Sel.Name
+		return strings.Contains(n, "Fatal") || n == "Exit" || n == "Goexit"
+	}
+	return false
+}

@@ -1,0 +1,292 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds the function named name, and builds
+// its CFG.
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body)
+		}
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil
+}
+
+// reachable returns the blocks reachable from g.Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestStraightLineFlowsToExit(t *testing.T) {
+	g := buildFunc(t, `func f() { a := 1; b := a + 1; _ = b }`, "f")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry holds %d nodes, want the 3 statements", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry succs = %v, want the exit block", g.Entry.Succs)
+	}
+	if len(g.Loops) != 0 || len(g.Defers) != 0 {
+		t.Fatalf("straight line reported loops %d, defers %d", len(g.Loops), len(g.Defers))
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) int {
+		x := 0
+		if c {
+			x = 1
+		} else {
+			x = 2
+		}
+		return x
+	}`, "f")
+	// The cond block fans out to two arms, both of which rejoin before the
+	// return; the return edges to Exit.
+	if n := len(g.Entry.Succs); n != 2 {
+		t.Fatalf("cond block has %d succs, want 2 arms", n)
+	}
+	a, b := g.Entry.Succs[0], g.Entry.Succs[1]
+	if len(a.Succs) != 1 || len(b.Succs) != 1 || a.Succs[0] != b.Succs[0] {
+		t.Fatalf("arms do not rejoin: %v vs %v", a.Succs, b.Succs)
+	}
+	join := a.Succs[0]
+	if len(join.Succs) != 1 || join.Succs[0] != g.Exit {
+		t.Fatalf("join succs = %v, want exit", join.Succs)
+	}
+}
+
+func TestForLoopBackEdgeAndBody(t *testing.T) {
+	g := buildFunc(t, `func f(n int) int {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += i
+		}
+		return total
+	}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if _, ok := l.Stmt.(*ast.ForStmt); !ok {
+		t.Fatalf("loop stmt is %T, want *ast.ForStmt", l.Stmt)
+	}
+	if len(l.Latches) != 1 {
+		t.Fatalf("loop has %d latches, want 1 (the post block)", len(l.Latches))
+	}
+	// The latch's back edge lands on the head.
+	found := false
+	for _, s := range l.Latches[0].Succs {
+		if s == l.Head {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("latch has no edge back to the head")
+	}
+	body := l.Body()
+	if !body[l.Head] || !body[l.Latches[0]] {
+		t.Fatal("natural body misses the head or the latch")
+	}
+	if body[g.Entry] || body[g.Exit] {
+		t.Fatal("natural body leaked outside the loop")
+	}
+}
+
+func TestUnboundedLoopContinueAndBreak(t *testing.T) {
+	g := buildFunc(t, `func f(n int) int {
+		for {
+			n++
+			if n%2 == 0 {
+				continue
+			}
+			if n > 10 {
+				break
+			}
+		}
+		return n
+	}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if len(l.Latches) != 2 {
+		t.Fatalf("loop has %d latches, want 2 (continue + fall-through)", len(l.Latches))
+	}
+	// break must leave the loop: some block outside the natural body is
+	// reachable from inside it.
+	body := l.Body()
+	escaped := false
+	for b := range body {
+		for _, s := range b.Succs {
+			if !body[s] {
+				escaped = true
+			}
+		}
+	}
+	if !escaped {
+		t.Fatal("break did not produce an edge out of the loop body")
+	}
+}
+
+func TestLabeledContinueTargetsOuterLoop(t *testing.T) {
+	g := buildFunc(t, `func f(n int) int {
+	outer:
+		for {
+			for j := 0; j < n; j++ {
+				if j == 3 {
+					continue outer
+				}
+			}
+			n--
+			if n == 0 {
+				break
+			}
+		}
+		return n
+	}`, "f")
+	if len(g.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(g.Loops))
+	}
+	outer := g.Loops[0] // outermost first per nesting chain
+	if _, ok := outer.Stmt.(*ast.ForStmt); !ok || outer.Stmt.(*ast.ForStmt).Cond != nil {
+		t.Fatalf("first loop is not the unbounded outer loop: %T", outer.Stmt)
+	}
+	// The labeled continue adds a latch to the outer loop from inside the
+	// inner loop's body.
+	if len(outer.Latches) < 2 {
+		t.Fatalf("outer loop has %d latches, want the fall-through and the labeled continue", len(outer.Latches))
+	}
+}
+
+func TestReturnAndDeadCode(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) int {
+		if c {
+			return 1
+		}
+		return 2
+	}`, "f")
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit has %d preds, want the two returns", len(g.Exit.Preds))
+	}
+	g = buildFunc(t, `func f() int {
+		return 1
+		x := 2 // unreachable
+		_ = x
+		return 3
+	}`, "f")
+	live := reachable(g)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && live[b] {
+				t.Fatalf("unreachable assignment %v sits in a live block", as)
+			}
+		}
+	}
+}
+
+func TestPanicIsTerminal(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		if c {
+			panic("boom")
+		}
+		println("after")
+	}`, "f")
+	// The panic block edges to Exit, not to the join.
+	var panicBlk *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlk = b
+					}
+				}
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("no block holds the panic call")
+	}
+	if len(panicBlk.Succs) != 1 || panicBlk.Succs[0] != g.Exit {
+		t.Fatalf("panic block succs = %v, want exit only", panicBlk.Succs)
+	}
+}
+
+func TestDefersRecordedInOrder(t *testing.T) {
+	g := buildFunc(t, `func f() {
+		defer println("first")
+		defer println("second")
+	}`, "f")
+	if len(g.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2", len(g.Defers))
+	}
+	if g.Defers[0].Pos() > g.Defers[1].Pos() {
+		t.Fatal("defers recorded out of registration order")
+	}
+}
+
+func TestRangeLoopRecorded(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) int {
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}`, "f")
+	if len(g.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(g.Loops))
+	}
+	if _, ok := g.Loops[0].Stmt.(*ast.RangeStmt); !ok {
+		t.Fatalf("loop stmt is %T, want *ast.RangeStmt", g.Loops[0].Stmt)
+	}
+	if len(g.Loops[0].Latches) == 0 {
+		t.Fatal("range loop has no back edge")
+	}
+}
+
+func TestSwitchArmsRejoin(t *testing.T) {
+	g := buildFunc(t, `func f(n int) int {
+		switch n {
+		case 1:
+			n = 10
+		case 2:
+			n = 20
+		default:
+			n = 30
+		}
+		return n
+	}`, "f")
+	// Every path from entry reaches the exit exactly through the return.
+	live := reachable(g)
+	if !live[g.Exit] {
+		t.Fatal("exit unreachable through the switch")
+	}
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("exit has %d preds, want 1 (the single return)", len(g.Exit.Preds))
+	}
+}

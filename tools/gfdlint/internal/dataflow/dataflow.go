@@ -1,0 +1,133 @@
+// Package dataflow provides the small analysis substrate gfdlint's
+// flow-aware analyzers share: a generic forward/backward worklist solver
+// over lattice facts attached to internal/cfg blocks, and a call-graph
+// approximation over one typechecked package (callgraph.go) from which
+// analyzers derive one-level interprocedural summaries — "this callee
+// polls cancellation", "this callee can panic", "this callee mutates its
+// i-th parameter" — so a contract violation cannot hide one call deep.
+package dataflow
+
+import (
+	"repro/tools/gfdlint/internal/cfg"
+)
+
+// Direction selects forward (facts flow entry→exit along Succs) or
+// backward (exit→entry along Preds) propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Spec describes one dataflow problem over fact type F. Transfer must be
+// monotone and Join associative/commutative/idempotent, or the worklist
+// iteration will not terminate.
+type Spec[F any] struct {
+	Dir      Direction
+	Boundary F                          // fact entering the boundary block (Entry forward, Exit backward)
+	Init     F                          // initial fact for every other block (the lattice bottom)
+	Join     func(a, b F) F             // least upper bound of two facts
+	Transfer func(b *cfg.Block, in F) F // fact leaving a block given the fact entering it
+	Equal    func(a, b F) bool          // fixpoint test
+}
+
+// Result carries the solved facts: In[b] is the fact at b's entry, Out[b]
+// at its exit (swapped roles under Backward: In is the fact flowing out of
+// the block toward its predecessors).
+type Result[F any] struct {
+	In  map[*cfg.Block]F
+	Out map[*cfg.Block]F
+}
+
+// Solve runs the worklist iteration to a fixpoint and returns the per-block
+// facts.
+func Solve[F any](g *cfg.Graph, s Spec[F]) *Result[F] {
+	in := make(map[*cfg.Block]F, len(g.Blocks))
+	out := make(map[*cfg.Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = s.Init
+		out[b] = s.Transfer(b, s.Init)
+	}
+	boundary := g.Entry
+	if s.Dir == Backward {
+		boundary = g.Exit
+	}
+	in[boundary] = s.Boundary
+	out[boundary] = s.Transfer(boundary, s.Boundary)
+
+	// Deduplicating FIFO worklist seeded with every block (facts like
+	// "gen at creation sites" can originate anywhere, not just at the
+	// boundary).
+	queue := make([]*cfg.Block, len(g.Blocks))
+	copy(queue, g.Blocks)
+	queued := make(map[*cfg.Block]bool, len(g.Blocks))
+	for _, b := range queue {
+		queued[b] = true
+	}
+	pop := func() *cfg.Block {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		return b
+	}
+	push := func(b *cfg.Block) {
+		if !queued[b] {
+			queued[b] = true
+			queue = append(queue, b)
+		}
+	}
+	preds := func(b *cfg.Block) []*cfg.Block { return b.Preds }
+	succs := func(b *cfg.Block) []*cfg.Block { return b.Succs }
+	if s.Dir == Backward {
+		preds, succs = succs, preds
+	}
+
+	for len(queue) > 0 {
+		b := pop()
+		f := s.Init
+		if b == boundary {
+			f = s.Join(f, s.Boundary)
+		}
+		for _, p := range preds(b) {
+			f = s.Join(f, out[p])
+		}
+		nf := s.Transfer(b, f)
+		in[b] = f
+		if !s.Equal(nf, out[b]) {
+			out[b] = nf
+			for _, n := range succs(b) {
+				push(n)
+			}
+		}
+	}
+	return &Result[F]{In: in, Out: out}
+}
+
+// ReachesWithout reports whether any path from `from` to a block in `to`
+// exists inside the `within` region (nil = whole graph) that never enters a
+// block for which blocked returns true. The path may be empty (from ∈ to
+// and from unblocked). Analyzers use it for "can a loop iteration complete
+// without passing a cancellation poll" style queries.
+func ReachesWithout(from *cfg.Block, to map[*cfg.Block]bool, within map[*cfg.Block]bool, blocked func(*cfg.Block) bool) bool {
+	if blocked(from) {
+		return false
+	}
+	seen := map[*cfg.Block]bool{from: true}
+	stack := []*cfg.Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if to[b] {
+			return true
+		}
+		for _, s := range b.Succs {
+			if seen[s] || (within != nil && !within[s]) || blocked(s) {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return false
+}

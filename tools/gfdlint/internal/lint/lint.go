@@ -81,14 +81,33 @@ func (f Finding) Position(fset *token.FileSet) token.Position {
 	return fset.Position(f.Diag.Pos)
 }
 
+// AllowAudit is a pseudo-analyzer: when included in a RunAnalyzers suite it
+// reports //gfdlint:allow directives that suppressed no diagnostic of the
+// same run (nolintlint-style: a dead suppression hides nothing and rots).
+// It only makes sense alongside the full suite — a directive for an
+// analyzer that did not run would look unused — so the CLI includes it on
+// unfiltered runs only.
+var AllowAudit = &Analyzer{
+	Name: "allowaudit",
+	Doc:  "reports //gfdlint:allow directives that no longer suppress any diagnostic",
+	Run:  func(*Pass) {}, // handled by RunAnalyzers after the real analyzers
+}
+
 // RunAnalyzers runs every analyzer over the pass's package and returns the
 // surviving findings: suppressed ones (see ParseAllowDirectives) and — for
 // analyzers with SkipTestFiles — ones landing in _test.go files are
 // filtered here so every driver (CLI, fixture tests) sees the same set.
+// If the suite includes AllowAudit, a finding is added for every allow
+// directive that suppressed nothing.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Finding {
 	allow := ParseAllowDirectives(fset, files)
 	var out []Finding
+	audit := false
 	for _, a := range analyzers {
+		if a == AllowAudit {
+			audit = true
+			continue
+		}
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
 		pass.report = func(d Diagnostic) {
 			pos := fset.Position(d.Pos)
@@ -102,6 +121,18 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 		a.Run(pass)
 	}
+	if audit {
+		for _, d := range allow.Unused() {
+			names := strings.Join(d.Names, ", ")
+			if names == "*" {
+				names = "any"
+			}
+			out = append(out, Finding{Analyzer: AllowAudit, Diag: Diagnostic{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("unused //gfdlint:allow directive: it suppresses no %s diagnostic in this run; remove it", names),
+			}})
+		}
+	}
 	sort.SliceStable(out, func(i, j int) bool {
 		pi, pj := out[i].Diag.Pos, out[j].Diag.Pos
 		if pi != pj {
@@ -112,8 +143,19 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 	return out
 }
 
-// AllowSet records //gfdlint:allow suppressions per file line.
-type AllowSet map[string]map[int][]string // filename -> line -> analyzer names ("*" = all)
+// AllowDirective is one parsed //gfdlint:allow comment.
+type AllowDirective struct {
+	Names []string // analyzer names it suppresses ("*" = all)
+	pos   token.Pos
+	used  bool
+}
+
+// AllowSet records //gfdlint:allow suppressions per file line, and tracks
+// which directives actually suppressed something (for the unused audit).
+type AllowSet struct {
+	directives []*AllowDirective
+	byLine     map[string]map[int][]*AllowDirective // filename -> line -> directives
+}
 
 // ParseAllowDirectives scans file comments for suppression directives of
 // the form
@@ -122,8 +164,8 @@ type AllowSet map[string]map[int][]string // filename -> line -> analyzer names 
 //
 // A directive suppresses matching diagnostics reported on its own line
 // (trailing comment) or on the line directly below (standalone comment).
-func ParseAllowDirectives(fset *token.FileSet, files []*ast.File) AllowSet {
-	set := AllowSet{}
+func ParseAllowDirectives(fset *token.FileSet, files []*ast.File) *AllowSet {
+	set := &AllowSet{byLine: map[string]map[int][]*AllowDirective{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -139,17 +181,19 @@ func ParseAllowDirectives(fset *token.FileSet, files []*ast.File) AllowSet {
 				if len(names) == 0 {
 					names = []string{"*"}
 				}
+				d := &AllowDirective{Names: names, pos: c.Pos()}
+				set.directives = append(set.directives, d)
 				pos := fset.Position(c.Pos())
-				lines := set[pos.Filename]
+				lines := set.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int][]string{}
-					set[pos.Filename] = lines
+					lines = map[int][]*AllowDirective{}
+					set.byLine[pos.Filename] = lines
 				}
 				// Trailing directives cover their own line; standalone
 				// directives cover the next line. Covering both is
 				// harmless and keeps the parser position-free.
-				lines[pos.Line] = append(lines[pos.Line], names...)
-				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
 			}
 		}
 	}
@@ -157,14 +201,29 @@ func ParseAllowDirectives(fset *token.FileSet, files []*ast.File) AllowSet {
 }
 
 // Allows reports whether a diagnostic from the named analyzer at pos is
-// suppressed.
-func (s AllowSet) Allows(name string, pos token.Position) bool {
-	for _, n := range s[pos.Filename][pos.Line] {
-		if n == "*" || n == name {
-			return true
+// suppressed, marking every directive that matched as used.
+func (s *AllowSet) Allows(name string, pos token.Position) bool {
+	hit := false
+	for _, d := range s.byLine[pos.Filename][pos.Line] {
+		for _, n := range d.Names {
+			if n == "*" || n == name {
+				d.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// Unused returns the directives that suppressed nothing, in source order.
+func (s *AllowSet) Unused() []*AllowDirective {
+	var out []*AllowDirective
+	for _, d := range s.directives {
+		if !d.used {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // WalkStack walks the AST rooted at n, invoking fn with each node and the

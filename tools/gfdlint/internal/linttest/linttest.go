@@ -27,6 +27,14 @@ var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 // assertions (e.g. applying suggested fixes against a golden file).
 func Run(t *testing.T, srcdir string, a *lint.Analyzer, pkg string) ([]lint.Finding, *token.FileSet) {
 	t.Helper()
+	return RunSuite(t, srcdir, []*lint.Analyzer{a}, pkg)
+}
+
+// RunSuite is Run for several analyzers at once: interactions between
+// passes — like the allow-audit, which only fires for directives no other
+// analyzer's suppressed finding claimed — need the whole suite in one run.
+func RunSuite(t *testing.T, srcdir string, as []*lint.Analyzer, pkg string) ([]lint.Finding, *token.FileSet) {
+	t.Helper()
 	pkgs, err := load.Load(load.Config{Dir: srcdir, Env: []string{"GOWORK=off"}}, "./"+pkg)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkg, err)
@@ -69,7 +77,7 @@ func Run(t *testing.T, srcdir string, a *lint.Analyzer, pkg string) ([]lint.Find
 				}
 			}
 		}
-		findings = append(findings, lint.RunAnalyzers(p.Fset, p.Files, p.Types, p.Info, []*lint.Analyzer{a})...)
+		findings = append(findings, lint.RunAnalyzers(p.Fset, p.Files, p.Types, p.Info, as)...)
 	}
 
 	for _, f := range findings {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -35,8 +36,10 @@ func run() int {
 	var (
 		fix     = flag.Bool("fix", false, "apply mechanical suggested fixes to the source files")
 		tests   = flag.Bool("tests", true, "also analyze _test.go files")
+		only    = flag.String("only", "", "comma-separated analyzer names to run exclusively")
 		disable = flag.String("disable", "", "comma-separated analyzer names to skip")
 		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.StringVar(&analyzers.HotPkgs, "hotalloc.pkgs", analyzers.HotPkgs,
 		"package path suffixes hotalloc applies to (\"*\" = all)")
@@ -49,17 +52,15 @@ func run() int {
 		}
 		return 0
 	}
-	skip := map[string]bool{}
-	for _, n := range strings.Split(*disable, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			skip[n] = true
-		}
+	enabled, err := selectAnalyzers(all, *only, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfdlint:", err)
+		return 2
 	}
-	var enabled []*lint.Analyzer
-	for _, a := range all {
-		if !skip[a.Name] {
-			enabled = append(enabled, a)
-		}
+	if *only == "" && *disable == "" {
+		// The unused-suppression audit only makes sense against the full
+		// suite: a directive for a filtered-out analyzer would look dead.
+		enabled = append(enabled, lint.AllowAudit)
 	}
 
 	patterns := flag.Args()
@@ -112,9 +113,96 @@ func run() int {
 		}
 	}
 
-	printFindings(fset, findings)
+	if *jsonOut {
+		out, err := jsonFindings(fset, findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gfdlint: -json:", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+	} else {
+		printFindings(fset, findings)
+	}
 	fmt.Fprintf(os.Stderr, "gfdlint: %d finding(s)\n", len(findings))
 	return 1
+}
+
+// selectAnalyzers applies the -only and -disable name lists to the full
+// analyzer set, rejecting unknown names (a typo must not silently run — or
+// silently skip — the wrong checks) and empty selections.
+func selectAnalyzers(all []*lint.Analyzer, only, disable string) ([]*lint.Analyzer, error) {
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		set := map[string]bool{}
+		for _, n := range strings.Split(csv, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				set[n] = true
+			}
+		}
+		for n := range set {
+			known := false
+			for _, a := range all {
+				if a.Name == n {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (see -list)", flagName, n)
+			}
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	disableSet, err := parse("disable", disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if disableSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("selection leaves no analyzers enabled")
+	}
+	return out, nil
+}
+
+// jsonFinding is the machine-readable shape of one finding; the field names
+// are stable output surface.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+func jsonFindings(fset *token.FileSet, findings []lint.Finding) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		pos := f.Position(fset)
+		out = append(out, jsonFinding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  f.Diag.Message,
+			Analyzer: f.Analyzer.Name,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 func printFindings(fset *token.FileSet, findings []lint.Finding) {
